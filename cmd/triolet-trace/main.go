@@ -1,0 +1,72 @@
+// Command triolet-trace runs one benchmark's Triolet implementation on the
+// virtual cluster with the phase profiler attached and prints the per-phase
+// totals and a per-rank timeline — the instrument behind paper-style
+// overhead attributions like "40% of the overhead is garbage collection"
+// (§4.3).
+//
+//	triolet-trace -bench cutcp -nodes 4 -cores 2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"triolet/internal/cluster"
+	"triolet/internal/domain"
+	"triolet/internal/parboil/cutcp"
+	"triolet/internal/parboil/mriq"
+	"triolet/internal/parboil/sgemm"
+	"triolet/internal/parboil/tpacf"
+	"triolet/internal/trace"
+)
+
+func main() {
+	bench := flag.String("bench", "cutcp", "benchmark to trace: mriq, sgemm, tpacf, cutcp")
+	nodes := flag.Int("nodes", 4, "virtual nodes")
+	cores := flag.Int("cores", 2, "cores per node")
+	width := flag.Int("width", 72, "timeline width in columns")
+	flag.Parse()
+
+	var body func(*cluster.Session) error
+	switch *bench {
+	case "mriq":
+		in := mriq.Gen(6000, 512, 42)
+		body = func(s *cluster.Session) error {
+			_, err := mriq.Triolet(s, in)
+			return err
+		}
+	case "sgemm":
+		in := sgemm.Gen(256, 256, 256, 42)
+		body = func(s *cluster.Session) error {
+			_, err := sgemm.Triolet(s, in)
+			return err
+		}
+	case "tpacf":
+		in := tpacf.Gen(256, 24, 20, 42)
+		body = func(s *cluster.Session) error {
+			_, err := tpacf.Triolet(s, in)
+			return err
+		}
+	case "cutcp":
+		in := cutcp.Gen(2000, domain.Dim3{D: 24, H: 24, W: 24}, 0.5, 2.5, 42)
+		body = func(s *cluster.Session) error {
+			_, err := cutcp.Triolet(s, in)
+			return err
+		}
+	default:
+		log.Fatalf("unknown benchmark %q (mriq, sgemm, tpacf, cutcp)", *bench)
+	}
+
+	tracer := trace.New()
+	stats, err := cluster.Run(cluster.Config{Nodes: *nodes, CoresPerNode: *cores, Tracer: tracer}, body)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s on %d nodes x %d cores; fabric: %d messages, %.1f KB\n\n",
+		*bench, *nodes, *cores, stats.Messages, float64(stats.Bytes)/1024)
+	fmt.Print(tracer.Summary())
+	fmt.Println()
+	fmt.Print(tracer.Gantt(*width))
+	fmt.Println("\nphases: s=scatter b=bcast k=kernel r=reduce g=gather")
+}

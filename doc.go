@@ -1,0 +1,19 @@
+// Package triolet is a Go reproduction of "Triolet: A Programming System
+// that Unifies Algorithmic Skeleton Interfaces for High-Performance
+// Cluster Computing" (Rodrigues, Jablin, Dakkak, Hwu; PPoPP 2014).
+//
+// The library lives under internal/: hybrid fusible iterators (iter),
+// index domains (domain), a serialization runtime (serial), a virtual
+// cluster fabric with MPI-style collectives (transport, mpi), a
+// work-stealing thread pool (sched), the two-level cluster runtime and
+// distributed skeletons (cluster, core), the Eden and C+MPI+OpenMP
+// comparison baselines (eden, refc-style code inside each benchmark), the
+// four Parboil evaluation workloads (parboil/...), and the calibrated
+// performance model that regenerates the paper's figures (perfmodel,
+// harness).
+//
+// See README.md for a tour, DESIGN.md for the system inventory and the
+// simulation substitutions, and EXPERIMENTS.md for paper-vs-measured
+// results. The root-level benchmarks in bench_test.go regenerate every
+// evaluation table and figure; `go run ./cmd/triolet-bench` prints them.
+package triolet

@@ -1,0 +1,52 @@
+// Matmul: the paper's two-line 2-D block decomposition of matrix multiply
+// (§2):
+//
+//	zipped_AB = outerproduct(rows(A), rows(BT))
+//	AB = [dot(u, v) for (u, v) in par(zipped_AB)]
+//
+// Each block task is sent only the rows of A and Bᵀ spanning its block —
+// the data distribution falls out of the outerproduct structure, no
+// hand-written partitioning code. This example runs the full sgemm
+// pipeline (including the shared-memory parallel transpose) on a virtual
+// cluster and checks the result against the sequential kernel.
+//
+//	go run ./examples/matmul
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"triolet/internal/cluster"
+	"triolet/internal/parboil"
+	"triolet/internal/parboil/sgemm"
+)
+
+func main() {
+	in := sgemm.Gen(384, 256, 320, 2024)
+	fmt.Printf("C = %.2f * A(%dx%d) * B(%dx%d)\n", in.Alpha, in.A.H, in.A.W, in.B.H, in.B.W)
+
+	want := sgemm.Seq(in)
+
+	var got [](float32)
+	stats, err := cluster.Run(cluster.Config{Nodes: 4, CoresPerNode: 2},
+		func(s *cluster.Session) error {
+			c, err := sgemm.Triolet(s, in)
+			got = c.Data
+			return err
+		})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	diff := parboil.MaxAbsDiff(got, want.Data)
+	fmt.Printf("distributed result matches sequential kernel: max |diff| = %g\n", diff)
+
+	inputBytes := 4 * (len(in.A.Data) + len(in.B.Data))
+	fmt.Printf("input %d bytes; fabric moved %d bytes across 4 nodes\n", inputBytes, stats.Bytes)
+	fmt.Println("(block slicing ships each node only the rows its output block reads)")
+
+	// The same decomposition in Eden fails when its message buffer cannot
+	// hold a block (paper Fig. 5) — see internal/parboil/sgemm's
+	// TestEdenFailsOnBufferLimit.
+}

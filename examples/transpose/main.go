@@ -1,0 +1,71 @@
+// Transpose: the paper's canonical localpar workload (§2, §4.3) — matrix
+// transposition does too little work per byte to parallelize profitably
+// over distributed memory, but wins from shared-memory threads on one
+// node. Written as the paper's gather comprehension:
+//
+//	[A[x,y] for (y, x) in arrayRange((0,0), (h, w))]
+//
+// The program builds the transpose three ways — sequentially, with the
+// 2-D iterator pipeline under localpar, and with the tuned kernel sgemm
+// uses — and times them.
+//
+//	go run ./examples/transpose
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"triolet/internal/array"
+	"triolet/internal/core"
+	"triolet/internal/domain"
+	"triolet/internal/iter"
+	"triolet/internal/parboil/sgemm"
+	"triolet/internal/sched"
+)
+
+func main() {
+	const h, w = 1200, 900
+	a := array.NewMatrix[float32](h, w)
+	for i := range a.Data {
+		a.Data[i] = float32(i % 1000)
+	}
+
+	// 1. Sequential library transpose.
+	t0 := time.Now()
+	seq := array.Transpose(a)
+	seqDur := time.Since(t0)
+
+	// 2. The comprehension, thread-parallel: output position (y, x) reads
+	//    input (x, y); Build2Local evaluates disjoint rectangles on the
+	//    work-stealing pool.
+	pool := sched.NewPool(4)
+	defer pool.Close()
+	gather := iter.LocalPar2(iter.Map2(func(ix domain.Ix2) float32 {
+		return a.At(ix.X, ix.Y)
+	}, iter.ArrayRange2(domain.Dim2{H: w, W: h})))
+	t0 = time.Now()
+	par := core.Build2Local(pool, gather)
+	parDur := time.Since(t0)
+
+	// 3. The tuned row-band kernel used by sgemm.
+	t0 = time.Now()
+	tuned := sgemm.TransposeLocal(pool, a)
+	tunedDur := time.Since(t0)
+
+	// All three must agree exactly.
+	for i := range seq.Data {
+		if par.Data[i] != seq.Data[i] || tuned.Data[i] != seq.Data[i] {
+			panic(fmt.Sprintf("transpose mismatch at %d", i))
+		}
+	}
+
+	fmt.Printf("transpose of %dx%d float32:\n", h, w)
+	fmt.Printf("  sequential            %8s\n", seqDur.Round(time.Microsecond))
+	fmt.Printf("  localpar comprehension%8s\n", parDur.Round(time.Microsecond))
+	fmt.Printf("  localpar tuned kernel %8s\n", tunedDur.Round(time.Microsecond))
+	fmt.Println("all three results identical")
+	fmt.Println()
+	fmt.Println("(In the paper, Eden cannot use shared memory: its sgemm transposes")
+	fmt.Println("sequentially and spends 35% of its 128-core time there, §4.3.)")
+}

@@ -1,0 +1,3 @@
+module triolet
+
+go 1.24

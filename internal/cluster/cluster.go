@@ -1,0 +1,248 @@
+// Package cluster is the virtual cluster runtime: it launches N simulated
+// nodes (goroutine groups), gives each one an MPI communicator over the
+// shared fabric and a work-stealing thread pool for its cores, and runs a
+// master/worker session on top — the two-level architecture of paper §3.4
+// (message passing across nodes, threads within a node).
+//
+// The programming model mirrors Triolet's: a single master program (rank 0)
+// runs the user's sequential-looking code, and parallel skeletons
+// transparently ship work to the other nodes. Go closures cannot cross the
+// serialization boundary, so cross-node code is named: worker-side kernel
+// functions are registered once (RegisterWorker) and invoked by name —
+// the moral equivalent of Triolet's serialized closures, under the SPMD
+// assumption that every node runs the same binary.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"triolet/internal/mpi"
+	"triolet/internal/sched"
+	"triolet/internal/serial"
+	"triolet/internal/trace"
+	"triolet/internal/transport"
+)
+
+// Config describes the virtual cluster.
+type Config struct {
+	// Nodes is the number of simulated cluster nodes.
+	Nodes int
+	// CoresPerNode is each node's thread-pool width.
+	CoresPerNode int
+	// MaxMessageBytes caps fabric payloads (0 = unlimited); used by the
+	// Eden baseline to model its bounded message buffer.
+	MaxMessageBytes int
+	// Tracer, when non-nil, records per-rank phase spans for the whole
+	// run (see internal/trace). Skeletons annotate their scatter, kernel,
+	// and reduce phases.
+	Tracer *trace.Tracer
+	// NetDelay, when non-nil, makes the fabric hold each message for
+	// latency + size/bandwidth so real executions pay genuine
+	// communication time (see transport.DelayConfig).
+	NetDelay *transport.DelayConfig
+}
+
+// TotalCores reports Nodes × CoresPerNode.
+func (c Config) TotalCores() int { return c.Nodes * c.CoresPerNode }
+
+func (c Config) validate() error {
+	if c.Nodes <= 0 || c.CoresPerNode <= 0 {
+		return fmt.Errorf("cluster: invalid config %+v", c)
+	}
+	return nil
+}
+
+// Node bundles one rank's services: its communicator and its thread pool.
+type Node struct {
+	Comm   *mpi.Comm
+	Pool   *sched.Pool
+	Tracer *trace.Tracer
+	cfg    Config
+}
+
+// Phase opens a trace span named phase on this node and returns its
+// closer. With no tracer attached it is a no-op.
+func (n *Node) Phase(phase string) func() { return n.Tracer.Begin(n.Rank(), phase) }
+
+// Rank reports this node's rank.
+func (n *Node) Rank() int { return n.Comm.Rank() }
+
+// Nodes reports the cluster size.
+func (n *Node) Nodes() int { return n.Comm.Size() }
+
+// Cores reports this node's core count.
+func (n *Node) Cores() int { return n.cfg.CoresPerNode }
+
+// IsRoot reports whether this node is the master (rank 0).
+func (n *Node) IsRoot() bool { return n.Comm.Rank() == 0 }
+
+// Worker is a node-side kernel body. It runs on every non-master node when
+// the master invokes the kernel's name; the matching master-side logic runs
+// inline on rank 0. Worker and master sides communicate through the node's
+// communicator (scatter/bcast/reduce collectives rooted at 0).
+type Worker func(n *Node) error
+
+var (
+	regMu    sync.RWMutex
+	registry = map[string]Worker{}
+)
+
+// RegisterWorker installs the worker-side body for a named kernel. It
+// panics on duplicate registration with a different function — kernels are
+// registered once at init time, like Triolet's compiled closure table.
+// Re-registration of the same name is an error even with an identical body,
+// to surface accidental name collisions early.
+func RegisterWorker(name string, w Worker) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("cluster: duplicate kernel %q", name))
+	}
+	registry[name] = w
+}
+
+// lookupWorker finds a registered kernel body.
+func lookupWorker(name string) (Worker, bool) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	w, ok := registry[name]
+	return w, ok
+}
+
+// resetRegistry clears the kernel table (tests only).
+func resetRegistry() {
+	regMu.Lock()
+	defer regMu.Unlock()
+	registry = map[string]Worker{}
+}
+
+// Session is the master's handle for invoking distributed kernels. It
+// exists only on rank 0.
+type Session struct {
+	node   *Node
+	fabric *transport.Fabric
+}
+
+// Node returns the master's node services (rank 0's communicator and pool);
+// master-side kernel logic runs against it.
+func (s *Session) Node() *Node { return s.node }
+
+// Config reports the cluster configuration.
+func (s *Session) Config() Config { return s.node.cfg }
+
+// Fabric exposes the underlying fabric for traffic statistics.
+func (s *Session) Fabric() *transport.Fabric { return s.fabric }
+
+const shutdownName = "\x00shutdown"
+
+// Invoke starts the named kernel on every worker node and returns once the
+// broadcast is out; the caller then runs the master side of the kernel
+// against s.Node(). Master side and worker sides must execute a matching
+// collective sequence or the session deadlocks — same contract as MPI.
+func (s *Session) Invoke(name string) error {
+	if _, ok := lookupWorker(name); !ok {
+		return fmt.Errorf("cluster: kernel %q not registered", name)
+	}
+	_, err := mpi.BcastT(s.node.Comm, 0, serial.Funcs[string]{
+		Enc: func(w *serial.Writer, v string) { w.String(v) },
+		Dec: func(r *serial.Reader) string { return r.String() },
+	}, name)
+	return err
+}
+
+// Run launches the virtual cluster, executes master on rank 0 with a
+// Session, runs kernel-dispatch loops on all other ranks, and tears
+// everything down. Fabric traffic statistics from the run are returned.
+func Run(cfg Config, master func(s *Session) error) (transport.Stats, error) {
+	if err := cfg.validate(); err != nil {
+		return transport.Stats{}, err
+	}
+	fabric := transport.New(transport.Config{
+		Ranks:           cfg.Nodes,
+		MaxMessageBytes: cfg.MaxMessageBytes,
+		Delay:           cfg.NetDelay,
+	})
+	defer fabric.Close()
+
+	errs := make([]error, cfg.Nodes)
+	var wg sync.WaitGroup
+	for r := range cfg.Nodes {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			node := &Node{
+				Comm:   mpi.NewComm(fabric, r),
+				Pool:   sched.NewPool(cfg.CoresPerNode),
+				Tracer: cfg.Tracer,
+				cfg:    cfg,
+			}
+			defer node.Pool.Close()
+			defer func() {
+				if p := recover(); p != nil {
+					errs[r] = fmt.Errorf("cluster: node %d panicked: %v", r, p)
+					fabric.Close()
+				}
+			}()
+			if r == 0 {
+				s := &Session{node: node, fabric: fabric}
+				errs[0] = masterMain(s, master)
+			} else {
+				errs[r] = workerMain(node)
+			}
+			if errs[r] != nil {
+				// A failed rank aborts the whole job (MPI_Abort
+				// semantics): peers blocked in collectives unblock with
+				// ErrClosed rather than hanging on the dead rank.
+				fabric.Close()
+			}
+		}()
+	}
+	wg.Wait()
+	stats := fabric.Stats()
+	return stats, joinErrs(errs)
+}
+
+func masterMain(s *Session, master func(*Session) error) error {
+	if err := master(s); err != nil {
+		// A master-side failure may have desynchronized the collective
+		// sequence, so an orderly shutdown broadcast could deadlock; tear
+		// the fabric down instead, which unblocks every worker with
+		// ErrClosed.
+		s.fabric.Close()
+		return err
+	}
+	_, bErr := mpi.BcastT(s.node.Comm, 0, stringCodec(), shutdownName)
+	return bErr
+}
+
+func workerMain(n *Node) error {
+	for {
+		name, err := mpi.BcastT(n.Comm, 0, stringCodec(), "")
+		if err != nil {
+			return err
+		}
+		if name == shutdownName {
+			return nil
+		}
+		w, ok := lookupWorker(name)
+		if !ok {
+			return fmt.Errorf("cluster: node %d: unknown kernel %q", n.Rank(), name)
+		}
+		if err := w(n); err != nil {
+			return fmt.Errorf("cluster: node %d: kernel %q: %w", n.Rank(), name, err)
+		}
+	}
+}
+
+func stringCodec() serial.Codec[string] {
+	return serial.Funcs[string]{
+		Enc: func(w *serial.Writer, v string) { w.String(v) },
+		Dec: func(r *serial.Reader) string { return r.String() },
+	}
+}
+
+func joinErrs(errs []error) error {
+	return errors.Join(errs...)
+}

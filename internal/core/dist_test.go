@@ -1,0 +1,368 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"triolet/internal/array"
+	"triolet/internal/cluster"
+	"triolet/internal/domain"
+	"triolet/internal/iter"
+	"triolet/internal/serial"
+	"triolet/internal/trace"
+)
+
+// Distributed kernels are registered once per process, at init, exactly as
+// production code would.
+
+// dotOp: distributed dot product over zipped slices. S carries both vector
+// slices; there is no aux.
+type dotSlice struct {
+	Xs, Ys []float64
+}
+
+func dotSliceCodec() serial.Codec[dotSlice] {
+	return serial.Funcs[dotSlice]{
+		Enc: func(w *serial.Writer, v dotSlice) {
+			w.F64Slice(v.Xs)
+			w.F64Slice(v.Ys)
+		},
+		Dec: func(r *serial.Reader) dotSlice {
+			return dotSlice{Xs: r.F64Slice(), Ys: r.F64Slice()}
+		},
+	}
+}
+
+var dotOp = NewMapReduce(
+	"test.dot",
+	dotSliceCodec(),
+	serial.Unit(),
+	serial.F64C(),
+	func(n *cluster.Node, s dotSlice, _ struct{}) (float64, error) {
+		it := iter.LocalPar(iter.ZipWith(func(x, y float64) float64 { return x * y },
+			iter.FromSlice(s.Xs), iter.FromSlice(s.Ys)))
+		return SumLocal(n.Pool, it, 256), nil
+	},
+	func(a, b float64) float64 { return a + b },
+)
+
+// histOp: distributed histogram with a broadcast bin count.
+var histOp = NewMapReduce(
+	"test.hist",
+	serial.Ints(),
+	serial.IntC(),
+	serial.I64s(),
+	func(n *cluster.Node, vals []int, bins int) ([]int64, error) {
+		return HistogramLocal(n.Pool, bins, iter.LocalPar(iter.FromSlice(vals)), 64), nil
+	},
+	func(a, b []int64) []int64 { array.AddInto(a, b); return a },
+)
+
+// squareOp: distributed array build (each task i yields x[i]^2).
+var squareOp = NewBuildArray(
+	"test.square",
+	serial.F64s(),
+	serial.Unit(),
+	serial.F64s(),
+	func(n *cluster.Node, xs []float64, _ struct{}) ([]float64, error) {
+		it := iter.LocalPar(iter.Map(func(x float64) float64 { return x * x }, iter.FromSlice(xs)))
+		return BuildSliceLocal(n.Pool, it, 128), nil
+	},
+)
+
+// outerOp: distributed 2-D build computing o[y][x] = ys[y]*xs[x] from row
+// and column slices.
+type outerSlice struct {
+	Rows, Cols []float64
+}
+
+func outerSliceCodec() serial.Codec[outerSlice] {
+	return serial.Funcs[outerSlice]{
+		Enc: func(w *serial.Writer, v outerSlice) {
+			w.F64Slice(v.Rows)
+			w.F64Slice(v.Cols)
+		},
+		Dec: func(r *serial.Reader) outerSlice {
+			return outerSlice{Rows: r.F64Slice(), Cols: r.F64Slice()}
+		},
+	}
+}
+
+var outerOp = NewBuild2D(
+	"test.outer",
+	outerSliceCodec(),
+	serial.Unit(),
+	serial.MatrixF64(),
+	func(n *cluster.Node, s outerSlice, _ struct{}) (array.Matrix[float64], error) {
+		out := array.NewMatrix[float64](len(s.Rows), len(s.Cols))
+		for y, ry := range s.Rows {
+			row := out.Row(y)
+			for x, cx := range s.Cols {
+				row[x] = ry * cx
+			}
+		}
+		return out, nil
+	},
+)
+
+// badShapeOp returns a wrong-sized section to exercise validation.
+var badShapeOp = NewBuildArray(
+	"test.badshape",
+	serial.F64s(),
+	serial.Unit(),
+	serial.F64s(),
+	func(n *cluster.Node, xs []float64, _ struct{}) ([]float64, error) {
+		return make([]float64, len(xs)+1), nil
+	},
+)
+
+var clusterShapes = []cluster.Config{
+	{Nodes: 1, CoresPerNode: 1},
+	{Nodes: 1, CoresPerNode: 4},
+	{Nodes: 3, CoresPerNode: 2},
+	{Nodes: 4, CoresPerNode: 1},
+	{Nodes: 8, CoresPerNode: 2},
+}
+
+func TestDistDotProduct(t *testing.T) {
+	n := 10007 // deliberately not divisible by node counts
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	var want float64
+	for i := range xs {
+		xs[i] = float64(i%13) * 0.5
+		ys[i] = float64(i%7) - 3
+		want += xs[i] * ys[i]
+	}
+	src := FuncSource[dotSlice]{
+		N: n,
+		SliceFn: func(r domain.Range) dotSlice {
+			return dotSlice{Xs: xs[r.Lo:r.Hi], Ys: ys[r.Lo:r.Hi]}
+		},
+	}
+	for _, cfg := range clusterShapes {
+		var got float64
+		_, err := cluster.Run(cfg, func(s *cluster.Session) error {
+			v, err := dotOp.Run(s, src, struct{}{})
+			got = v
+			return err
+		})
+		if err != nil {
+			t.Fatalf("%+v: %v", cfg, err)
+		}
+		if diff := got - want; diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("%+v: dot = %v, want %v", cfg, got, want)
+		}
+	}
+}
+
+func TestDistHistogram(t *testing.T) {
+	vals := make([]int, 5000)
+	for i := range vals {
+		vals[i] = (i * 7) % 30
+	}
+	want := iter.Histogram(30, iter.FromSlice(vals))
+	for _, cfg := range clusterShapes {
+		var got []int64
+		_, err := cluster.Run(cfg, func(s *cluster.Session) error {
+			h, err := histOp.Run(s, SliceSource(vals), 30)
+			got = h
+			return err
+		})
+		if err != nil {
+			t.Fatalf("%+v: %v", cfg, err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%+v: bin %d = %d, want %d", cfg, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestDistHistogramRunLocal(t *testing.T) {
+	vals := make([]int, 1000)
+	for i := range vals {
+		vals[i] = i % 10
+	}
+	want := iter.Histogram(10, iter.FromSlice(vals))
+	_, err := cluster.Run(cluster.Config{Nodes: 3, CoresPerNode: 2}, func(s *cluster.Session) error {
+		before := s.Fabric().Stats().Bytes
+		h, err := histOp.RunLocal(s, SliceSource(vals), 10)
+		if err != nil {
+			return err
+		}
+		for i := range want {
+			if h[i] != want[i] {
+				t.Errorf("bin %d = %d, want %d", i, h[i], want[i])
+			}
+		}
+		// localpar must not touch the fabric.
+		if after := s.Fabric().Stats().Bytes; after != before {
+			t.Errorf("RunLocal moved %d bytes over the fabric", after-before)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDistBuildArray(t *testing.T) {
+	xs := make([]float64, 4099)
+	for i := range xs {
+		xs[i] = float64(i) * 0.25
+	}
+	for _, cfg := range clusterShapes {
+		var got []float64
+		_, err := cluster.Run(cfg, func(s *cluster.Session) error {
+			out, err := squareOp.Run(s, SliceSource(xs), struct{}{})
+			got = out
+			return err
+		})
+		if err != nil {
+			t.Fatalf("%+v: %v", cfg, err)
+		}
+		if len(got) != len(xs) {
+			t.Fatalf("%+v: len = %d", cfg, len(got))
+		}
+		for i := range xs {
+			if got[i] != xs[i]*xs[i] {
+				t.Fatalf("%+v: out[%d] = %v", cfg, i, got[i])
+			}
+		}
+	}
+}
+
+func TestDistBuild2D(t *testing.T) {
+	h, w := 61, 45
+	rows := make([]float64, h)
+	cols := make([]float64, w)
+	for i := range rows {
+		rows[i] = float64(i + 1)
+	}
+	for i := range cols {
+		cols[i] = float64(i) * 0.5
+	}
+	src := FuncSource2[outerSlice]{
+		D: domain.NewDim2(h, w),
+		SliceFn: func(r domain.Rect) outerSlice {
+			return outerSlice{
+				Rows: rows[r.Rows.Lo:r.Rows.Hi],
+				Cols: cols[r.Cols.Lo:r.Cols.Hi],
+			}
+		},
+	}
+	for _, cfg := range clusterShapes {
+		var got array.Matrix[float64]
+		_, err := cluster.Run(cfg, func(s *cluster.Session) error {
+			m, err := outerOp.Run(s, src, struct{}{})
+			got = m
+			return err
+		})
+		if err != nil {
+			t.Fatalf("%+v: %v", cfg, err)
+		}
+		for y := range h {
+			for x := range w {
+				if got.At(y, x) != rows[y]*cols[x] {
+					t.Fatalf("%+v: o[%d][%d] = %v", cfg, y, x, got.At(y, x))
+				}
+			}
+		}
+	}
+}
+
+// TestSlicingReducesTraffic verifies the paper's §3.5 property directly:
+// distributing a sliced array moves about one copy of it over the fabric
+// (the root keeps its own share locally), not one copy per node.
+func TestSlicingReducesTraffic(t *testing.T) {
+	const n = 100000
+	xs := make([]float64, n) // 800 KB
+	src := FuncSource[dotSlice]{
+		N: n,
+		SliceFn: func(r domain.Range) dotSlice {
+			return dotSlice{Xs: xs[r.Lo:r.Hi], Ys: xs[r.Lo:r.Hi]}
+		},
+	}
+	cfg := cluster.Config{Nodes: 8, CoresPerNode: 1}
+	stats, err := cluster.Run(cfg, func(s *cluster.Session) error {
+		_, err := dotOp.Run(s, src, struct{}{})
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputBytes := int64(2 * 8 * n) // both vectors
+	// Sliced distribution: 7/8 of the input crosses the fabric once.
+	// Whole-input-per-node would move ~7 copies. Allow 1.5x for headers
+	// and the scalar reduction.
+	if stats.Bytes > inputBytes*3/2 {
+		t.Fatalf("moved %d bytes for %d input bytes: slicing is not happening", stats.Bytes, inputBytes)
+	}
+	if stats.Bytes < inputBytes/2 {
+		t.Fatalf("moved only %d bytes: input did not cross the fabric?", stats.Bytes)
+	}
+}
+
+func TestBuildArraySectionValidation(t *testing.T) {
+	xs := make([]float64, 64)
+	_, err := cluster.Run(cluster.Config{Nodes: 2, CoresPerNode: 1}, func(s *cluster.Session) error {
+		_, err := badShapeOp.Run(s, SliceSource(xs), struct{}{})
+		return err
+	})
+	if err == nil || !strings.Contains(err.Error(), "elements for") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestTracedRunRecordsPhases(t *testing.T) {
+	tr := trace.New()
+	vals := make([]int, 2000)
+	cfg := cluster.Config{Nodes: 3, CoresPerNode: 2, Tracer: tr}
+	_, err := cluster.Run(cfg, func(s *cluster.Session) error {
+		_, err := histOp.Run(s, SliceSource(vals), 8)
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	totals := tr.PhaseTotals()
+	for _, phase := range []string{"scatter", "bcast", "kernel", "reduce"} {
+		if totals[phase] <= 0 {
+			t.Errorf("phase %q not recorded: %v", phase, totals)
+		}
+	}
+	// Every rank must have a kernel span.
+	ranks := map[int]bool{}
+	for _, s := range tr.Spans() {
+		if s.Phase == "kernel" {
+			ranks[s.Rank] = true
+		}
+	}
+	for r := range 3 {
+		if !ranks[r] {
+			t.Errorf("rank %d has no kernel span", r)
+		}
+	}
+	if tr.Gantt(60) == "(no spans)\n" {
+		t.Error("gantt empty")
+	}
+}
+
+func TestOpNames(t *testing.T) {
+	if dotOp.Name() != "test.dot" || squareOp.Name() != "test.square" || outerOp.Name() != "test.outer" {
+		t.Fatal("op names wrong")
+	}
+}
+
+func TestDuplicateKernelNamePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewMapReduce("test.dot", serial.Unit(), serial.Unit(), serial.IntC(),
+		func(*cluster.Node, struct{}, struct{}) (int, error) { return 0, nil },
+		func(a, b int) int { return a + b })
+}

@@ -1,0 +1,50 @@
+package core_test
+
+import (
+	"fmt"
+
+	"triolet/internal/core"
+	"triolet/internal/iter"
+	"triolet/internal/sched"
+)
+
+// A localpar pipeline: the fused sum-of-filter running on a work-stealing
+// pool. The same expression with a par hint and a registered kernel runs
+// distributed (see examples/quickstart).
+func ExampleSumLocal() {
+	pool := sched.NewPool(4)
+	defer pool.Close()
+	xs := make([]int64, 10000)
+	for i := range xs {
+		xs[i] = int64(i)
+	}
+	it := iter.LocalPar(iter.Filter(func(v int64) bool { return v%2 == 0 },
+		iter.FromSlice(xs)))
+	fmt.Println(core.SumLocal(pool, it, 512))
+	// Output: 24995000
+}
+
+// Thread-parallel histogramming with per-worker private bins, merged by
+// addition — the paper's §4.4 privatization pattern.
+func ExampleHistogramLocal() {
+	pool := sched.NewPool(4)
+	defer pool.Close()
+	it := iter.LocalPar(iter.Map(func(i int) int { return i % 4 }, iter.Range(1000)))
+	fmt.Println(core.HistogramLocal(pool, 4, it, 64))
+	// Output: [250 250 250 250]
+}
+
+// PackLocal is the conventional multi-pass alternative to fusion: count,
+// prefix offsets, packed write. Output order matches the sequential
+// filter.
+func ExamplePackLocal() {
+	pool := sched.NewPool(2)
+	defer pool.Close()
+	xs := []int{5, 2, 9, 4, 7}
+	out := core.PackLocal(pool, xs,
+		func(x int) int { return x * 10 },
+		func(v int) bool { return v > 40 },
+		2)
+	fmt.Println(out)
+	// Output: [50 90 70]
+}

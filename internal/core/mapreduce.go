@@ -1,0 +1,135 @@
+package core
+
+import (
+	"fmt"
+
+	"triolet/internal/cluster"
+	"triolet/internal/domain"
+	"triolet/internal/mpi"
+	"triolet/internal/serial"
+)
+
+// MapReduceOp is a registered distributed map-reduce skeleton: the master
+// partitions a DistSource across nodes, each node computes a partial result
+// of type R from its slice (typically with a fused, thread-parallel
+// iterator pipeline), and partials are combined up a reduction tree. This
+// one skeleton covers the paper's par-hinted reductions: dot products,
+// tpacf's histogram sums, cutcp's potential grid.
+//
+// S is the per-node input slice, A an auxiliary value broadcast to every
+// node (e.g. mri-q's sample array, tpacf's observed data set), R the
+// result.
+type MapReduceOp[S, A, R any] struct {
+	name    string
+	sCodec  serial.Codec[S]
+	aCodec  serial.Codec[A]
+	rCodec  serial.Codec[R]
+	kernel  func(n *cluster.Node, slice S, aux A) (R, error)
+	combine func(R, R) R
+}
+
+// NewMapReduce registers a distributed map-reduce kernel under name and
+// returns its typed handle. Call once per kernel at package init — the
+// name is the serialized identity of the kernel, standing in for Triolet's
+// serialized closures. combine must be associative.
+func NewMapReduce[S, A, R any](
+	name string,
+	sCodec serial.Codec[S],
+	aCodec serial.Codec[A],
+	rCodec serial.Codec[R],
+	kernel func(n *cluster.Node, slice S, aux A) (R, error),
+	combine func(R, R) R,
+) *MapReduceOp[S, A, R] {
+	op := &MapReduceOp[S, A, R]{
+		name:    name,
+		sCodec:  sCodec,
+		aCodec:  aCodec,
+		rCodec:  rCodec,
+		kernel:  kernel,
+		combine: combine,
+	}
+	cluster.RegisterWorker(name, op.workerBody)
+	return op
+}
+
+// Name reports the kernel's registered name.
+func (op *MapReduceOp[S, A, R]) Name() string { return op.name }
+
+// workerBody is the non-master side: receive slice and aux, compute, feed
+// the reduction tree.
+func (op *MapReduceOp[S, A, R]) workerBody(n *cluster.Node) error {
+	endScatter := n.Phase("scatter")
+	slice, err := mpi.ScatterT(n.Comm, 0, op.sCodec, nil)
+	endScatter()
+	if err != nil {
+		return fmt.Errorf("core: %s scatter: %w", op.name, err)
+	}
+	var zeroA A
+	endBcast := n.Phase("bcast")
+	aux, err := mpi.BcastT(n.Comm, 0, op.aCodec, zeroA)
+	endBcast()
+	if err != nil {
+		return fmt.Errorf("core: %s bcast: %w", op.name, err)
+	}
+	endKernel := n.Phase("kernel")
+	r, err := op.kernel(n, slice, aux)
+	endKernel()
+	if err != nil {
+		return fmt.Errorf("core: %s kernel: %w", op.name, err)
+	}
+	endReduce := n.Phase("reduce")
+	_, _, err = mpi.ReduceT(n.Comm, op.rCodec, r, op.combine)
+	endReduce()
+	return err
+}
+
+// Run executes the skeleton from the master: block-partitions src's tasks
+// across nodes, ships slices and the aux broadcast, computes the master's
+// own share inline, and returns the tree-reduced result.
+func (op *MapReduceOp[S, A, R]) Run(s *cluster.Session, src DistSource[S], aux A) (R, error) {
+	var zero R
+	n := s.Node()
+	if err := s.Invoke(op.name); err != nil {
+		return zero, err
+	}
+	endScatter := n.Phase("scatter")
+	parts := make([]S, n.Nodes())
+	for i, r := range domain.BlockPartition(src.Tasks(), n.Nodes()) {
+		parts[i] = src.Slice(r)
+	}
+	mine, err := mpi.ScatterT(n.Comm, 0, op.sCodec, parts)
+	endScatter()
+	if err != nil {
+		return zero, fmt.Errorf("core: %s scatter: %w", op.name, err)
+	}
+	endBcast := n.Phase("bcast")
+	aux, err = mpi.BcastT(n.Comm, 0, op.aCodec, aux)
+	endBcast()
+	if err != nil {
+		return zero, fmt.Errorf("core: %s bcast: %w", op.name, err)
+	}
+	endKernel := n.Phase("kernel")
+	r, err := op.kernel(n, mine, aux)
+	endKernel()
+	if err != nil {
+		return zero, fmt.Errorf("core: %s kernel: %w", op.name, err)
+	}
+	endReduce := n.Phase("reduce")
+	total, ok, err := mpi.ReduceT(n.Comm, op.rCodec, r, op.combine)
+	endReduce()
+	if err != nil {
+		return zero, fmt.Errorf("core: %s reduce: %w", op.name, err)
+	}
+	if !ok {
+		return zero, fmt.Errorf("core: %s reduce produced no result at root", op.name)
+	}
+	return total, nil
+}
+
+// RunLocal executes the same kernel without leaving the master node,
+// implementing the localpar hint at the skeleton level: thread parallelism
+// only, no serialization, no fabric traffic.
+func (op *MapReduceOp[S, A, R]) RunLocal(s *cluster.Session, src DistSource[S], aux A) (R, error) {
+	whole := src.Slice(domain.Range{Lo: 0, Hi: src.Tasks()})
+	return op.kernel(s.Node(), whole, aux)
+}

@@ -1,0 +1,99 @@
+package core
+
+import (
+	"triolet/internal/domain"
+	"triolet/internal/iter"
+	"triolet/internal/sched"
+)
+
+// This file implements the conventional multi-pass alternative to hybrid-
+// iterator fusion for variable-output loops — "the usual solution is to
+// precompute the necessary index information using a parallel scan, but
+// because parallel scan is a multipass algorithm, fusion is impossible;
+// all temporary values have to be saved to memory at some point" (paper
+// §3.1). It exists as a correct, tested baseline so the ablation
+// benchmarks can quantify what fusion buys.
+
+// PackLocal materializes filter(pred, map(f, xs)) as a packed slice using
+// the classic three-phase parallel algorithm:
+//
+//  1. count phase: each block counts its survivors (f and pred run once);
+//  2. scan phase: an exclusive prefix sum over block counts assigns each
+//     block its output offset (sequential over blocks — the block count is
+//     tiny);
+//  3. write phase: each block re-applies f and pred and writes survivors
+//     at its offset.
+//
+// f and pred therefore run TWICE per element and the output is written to
+// memory even when a reduction immediately consumes it — exactly the costs
+// fused hybrid iterators avoid. Output order matches sequential filter
+// order.
+func PackLocal[T, U any](pool *sched.Pool, xs []T, f func(T) U, pred func(U) bool, grain int) []U {
+	n := len(xs)
+	if n == 0 {
+		return nil
+	}
+	if pool == nil {
+		out := make([]U, 0, n)
+		for _, x := range xs {
+			if v := f(x); pred(v) {
+				out = append(out, v)
+			}
+		}
+		return out
+	}
+	if grain <= 0 {
+		grain = sched.DefaultGrain
+	}
+	blocks := domain.ChunkPartition(n, grain)
+	counts := make([]int, len(blocks))
+
+	// Phase 1: count survivors per block, in parallel over blocks.
+	pool.ParallelFor(len(blocks), 1, func(_, lo, hi int) {
+		for b := lo; b < hi; b++ {
+			c := 0
+			for i := blocks[b].Lo; i < blocks[b].Hi; i++ {
+				if pred(f(xs[i])) {
+					c++
+				}
+			}
+			counts[b] = c
+		}
+	})
+
+	// Phase 2: exclusive prefix sum over block counts.
+	offsets := make([]int, len(blocks)+1)
+	for b, c := range counts {
+		offsets[b+1] = offsets[b] + c
+	}
+	out := make([]U, offsets[len(blocks)])
+
+	// Phase 3: recompute and write survivors at each block's offset.
+	pool.ParallelFor(len(blocks), 1, func(_, lo, hi int) {
+		for b := lo; b < hi; b++ {
+			w := offsets[b]
+			for i := blocks[b].Lo; i < blocks[b].Hi; i++ {
+				if v := f(xs[i]); pred(v) {
+					out[w] = v
+					w++
+				}
+			}
+		}
+	})
+	return out
+}
+
+// FilterSumFused computes sum(filter(pred, map(f, xs))) through the hybrid
+// iterator pipeline: a single fused pass, no temporary array — the
+// Triolet approach the ablation compares against PackLocal.
+func FilterSumFused[T any, U iter.Number](pool *sched.Pool, xs []T, f func(T) U, pred func(U) bool, grain int) U {
+	it := iter.LocalPar(iter.Filter(pred, iter.Map(f, iter.FromSlice(xs))))
+	return SumLocal(pool, it, grain)
+}
+
+// FilterSumTwoPass computes the same value the conventional way: PackLocal
+// into a temporary, then a parallel sum over it.
+func FilterSumTwoPass[T any, U iter.Number](pool *sched.Pool, xs []T, f func(T) U, pred func(U) bool, grain int) U {
+	packed := PackLocal(pool, xs, f, pred, grain)
+	return SumLocal(pool, iter.LocalPar(iter.FromSlice(packed)), grain)
+}

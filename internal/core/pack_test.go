@@ -1,0 +1,98 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"triolet/internal/sched"
+)
+
+func refPack(xs []int32) []int64 {
+	var out []int64
+	for _, x := range xs {
+		v := int64(x) * 3
+		if v%2 == 0 {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func packArgs() (func(int32) int64, func(int64) bool) {
+	return func(x int32) int64 { return int64(x) * 3 },
+		func(v int64) bool { return v%2 == 0 }
+}
+
+func TestPackLocalMatchesSequential(t *testing.T) {
+	pool := sched.NewPool(4)
+	defer pool.Close()
+	f, pred := packArgs()
+	prop := func(xs []int32, grain0 uint8) bool {
+		grain := int(grain0%40) + 1
+		got := PackLocal(pool, xs, f, pred, grain)
+		want := refPack(xs)
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 50}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPackLocalEdgeCases(t *testing.T) {
+	pool := sched.NewPool(2)
+	defer pool.Close()
+	f, pred := packArgs()
+	if got := PackLocal(pool, nil, f, pred, 8); got != nil {
+		t.Fatalf("empty pack = %v", got)
+	}
+	// nil pool falls back to the sequential path.
+	xs := []int32{1, 2, 3, 4}
+	got := PackLocal(nil, xs, f, pred, 8)
+	want := refPack(xs)
+	if len(got) != len(want) {
+		t.Fatalf("nil-pool pack = %v, want %v", got, want)
+	}
+	// grain <= 0 selects the default.
+	if got := PackLocal(pool, xs, f, pred, 0); len(got) != len(want) {
+		t.Fatalf("default-grain pack = %v", got)
+	}
+	// all rejected
+	if got := PackLocal(pool, xs, f, func(int64) bool { return false }, 2); len(got) != 0 {
+		t.Fatalf("reject-all = %v", got)
+	}
+	// all accepted preserves order
+	all := PackLocal(pool, xs, f, func(int64) bool { return true }, 2)
+	for i, v := range all {
+		if v != int64(xs[i])*3 {
+			t.Fatalf("accept-all order broken: %v", all)
+		}
+	}
+}
+
+func TestFusedAndTwoPassAgree(t *testing.T) {
+	pool := sched.NewPool(3)
+	defer pool.Close()
+	f, pred := packArgs()
+	prop := func(xs []int32) bool {
+		fused := FilterSumFused(pool, xs, f, pred, 16)
+		twoPass := FilterSumTwoPass(pool, xs, f, pred, 16)
+		var want int64
+		for _, v := range refPack(xs) {
+			want += v
+		}
+		return fused == want && twoPass == want
+	}
+	cfg := &quick.Config{MaxCount: 40}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

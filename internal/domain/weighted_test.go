@@ -1,0 +1,133 @@
+package domain
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Property: a weighted partition covers [0, n) exactly once, in order, and
+// no block's weight exceeds the ideal share by more than one element's
+// weight (the greedy bound).
+func TestWeightedPartitionProperties(t *testing.T) {
+	prop := func(raw []uint8, p0 uint8) bool {
+		p := int(p0%8) + 1
+		weights := make([]float64, len(raw))
+		total := 0.0
+		maxW := 0.0
+		for i, v := range raw {
+			weights[i] = float64(v)
+			total += weights[i]
+			if weights[i] > maxW {
+				maxW = weights[i]
+			}
+		}
+		blocks := WeightedPartition(weights, p)
+		if len(blocks) != p {
+			return false
+		}
+		prev := 0
+		ideal := total / float64(p)
+		for _, b := range blocks {
+			if b.Lo != prev || b.Hi < b.Lo {
+				return false
+			}
+			prev = b.Hi
+			w := 0.0
+			for i := b.Lo; i < b.Hi; i++ {
+				w += weights[i]
+			}
+			if w > ideal+maxW+1e-9 {
+				return false
+			}
+		}
+		return prev == len(raw)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWeightedPartitionPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { WeightedPartition([]float64{1}, 0) },
+		func() { WeightedPartition([]float64{-1}, 2) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestWeightedPartitionZeroWeights(t *testing.T) {
+	blocks := WeightedPartition(make([]float64, 10), 3)
+	prev := 0
+	for _, b := range blocks {
+		if b.Lo != prev {
+			t.Fatalf("gap in %v", blocks)
+		}
+		prev = b.Hi
+	}
+	if prev != 10 {
+		t.Fatalf("coverage ends at %d", prev)
+	}
+}
+
+// The motivating case: a triangular loop statically partitioned. Equal-
+// count blocks put ~44% of all pairs in the first of four blocks; weighted
+// blocks stay near 25%.
+func TestTriangularPartitionBalances(t *testing.T) {
+	const n = 10000
+	const p = 4
+	work := func(r Range) float64 {
+		w := 0.0
+		for i := r.Lo; i < r.Hi; i++ {
+			w += float64(n - 1 - i)
+		}
+		return w
+	}
+	total := float64(n) * float64(n-1) / 2
+
+	worstBlocked := 0.0
+	for _, r := range BlockPartition(n, p) {
+		if w := work(r); w > worstBlocked {
+			worstBlocked = w
+		}
+	}
+	worstWeighted := 0.0
+	for _, r := range TriangularPartition(n, p) {
+		if w := work(r); w > worstWeighted {
+			worstWeighted = w
+		}
+	}
+	ideal := total / p
+	if worstBlocked < 1.6*ideal {
+		t.Fatalf("blocked partition unexpectedly balanced: %v vs ideal %v", worstBlocked, ideal)
+	}
+	if worstWeighted > 1.05*ideal {
+		t.Fatalf("weighted partition imbalanced: %v vs ideal %v", worstWeighted, ideal)
+	}
+}
+
+// Property: TriangularPartition covers the loop exactly for any (n, p).
+func TestTriangularPartitionCoverage(t *testing.T) {
+	prop := func(n0, p0 uint8) bool {
+		n := int(n0 % 200)
+		p := int(p0%8) + 1
+		prev := 0
+		for _, b := range TriangularPartition(n, p) {
+			if b.Lo != prev {
+				return false
+			}
+			prev = b.Hi
+		}
+		return prev == n
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,179 @@
+// Package eden is the Eden baseline (paper §4.1): a faithful-in-behaviour
+// model of the distributed Haskell dialect the paper compares against. The
+// properties that limit Eden's performance in the paper are reproduced
+// structurally rather than numerically:
+//
+//   - No shared memory: every core is its own process (fabric rank). Data
+//     used by two processes on the same "node" is still copied through the
+//     fabric.
+//   - Whole-value communication: spawning a process ships its entire input;
+//     there is no slicing machinery unless the programmer chunks by hand.
+//   - Boxed list values: the idiomatic data structure is a cons list with a
+//     heap cell per element (this file), an order of magnitude slower to
+//     traverse than an unboxed array. The paper's optimized Eden style —
+//     lists of unboxed chunks — is also provided (Chunked).
+//   - Flat process topology by default: the master exchanges messages with
+//     every process directly. A hand-built two-level variant (as the paper
+//     wrote for its Eden ports) is in skeletons.go.
+//   - Bounded message buffers: oversized messages fail, reproducing the
+//     paper's sgemm failure at ≥2 nodes.
+package eden
+
+// Cell is one cons cell of a boxed list. Each element costs a heap
+// allocation and a pointer chase, modeling GHC's lazy list representation
+// that makes idiomatic Eden code an order of magnitude slower than C
+// (paper §1).
+type Cell[T any] struct {
+	Head T
+	Tail *Cell[T]
+}
+
+// FromSlice builds a boxed list with the elements of xs, allocating one
+// cell per element.
+func FromSlice[T any](xs []T) *Cell[T] {
+	var head *Cell[T]
+	for i := len(xs) - 1; i >= 0; i-- {
+		head = &Cell[T]{Head: xs[i], Tail: head}
+	}
+	return head
+}
+
+// ToSlice flattens a boxed list into a slice.
+func ToSlice[T any](l *Cell[T]) []T {
+	var out []T
+	for c := l; c != nil; c = c.Tail {
+		out = append(out, c.Head)
+	}
+	return out
+}
+
+// Length walks the list counting cells.
+func Length[T any](l *Cell[T]) int {
+	n := 0
+	for c := l; c != nil; c = c.Tail {
+		n++
+	}
+	return n
+}
+
+// Map allocates a new list with f applied to every element.
+func Map[T, U any](f func(T) U, l *Cell[T]) *Cell[U] {
+	var head, tail *Cell[U]
+	for c := l; c != nil; c = c.Tail {
+		cell := &Cell[U]{Head: f(c.Head)}
+		if tail == nil {
+			head = cell
+		} else {
+			tail.Tail = cell
+		}
+		tail = cell
+	}
+	return head
+}
+
+// Filter allocates a new list keeping elements satisfying pred.
+func Filter[T any](pred func(T) bool, l *Cell[T]) *Cell[T] {
+	var head, tail *Cell[T]
+	for c := l; c != nil; c = c.Tail {
+		if !pred(c.Head) {
+			continue
+		}
+		cell := &Cell[T]{Head: c.Head}
+		if tail == nil {
+			head = cell
+		} else {
+			tail.Tail = cell
+		}
+		tail = cell
+	}
+	return head
+}
+
+// Foldl reduces the list left-to-right.
+func Foldl[T, A any](l *Cell[T], z A, w func(A, T) A) A {
+	acc := z
+	for c := l; c != nil; c = c.Tail {
+		acc = w(acc, c.Head)
+	}
+	return acc
+}
+
+// Append concatenates two lists, copying the first.
+func Append[T any](a, b *Cell[T]) *Cell[T] {
+	if a == nil {
+		return b
+	}
+	var head, tail *Cell[T]
+	for c := a; c != nil; c = c.Tail {
+		cell := &Cell[T]{Head: c.Head}
+		if tail == nil {
+			head = cell
+		} else {
+			tail.Tail = cell
+		}
+		tail = cell
+	}
+	tail.Tail = b
+	return head
+}
+
+// ConcatMap expands each element into a list and concatenates the results —
+// the nested-traversal shape that, in Eden, manifests as slow stepper-style
+// list building (paper §3.1 measured it 2–5× slower than loop nests).
+func ConcatMap[T, U any](f func(T) *Cell[U], l *Cell[T]) *Cell[U] {
+	var head, tail *Cell[U]
+	for c := l; c != nil; c = c.Tail {
+		for inner := f(c.Head); inner != nil; inner = inner.Tail {
+			cell := &Cell[U]{Head: inner.Head}
+			if tail == nil {
+				head = cell
+			} else {
+				tail.Tail = cell
+			}
+			tail = cell
+		}
+	}
+	return head
+}
+
+// Chunked is the paper's hand-optimized Eden representation: a list of
+// unboxed array chunks ("we build arrays in chunked form, as lists of
+// 1k-element vectors", §4.2). Traversal is nearly array-speed; the list
+// spine still permits Eden's element-wise distribution.
+type Chunked struct {
+	Chunks [][]float64
+}
+
+// ChunkSlice splits xs into chunks of the given size (the paper uses 1k).
+func ChunkSlice(xs []float64, size int) Chunked {
+	if size <= 0 {
+		panic("eden: chunk size must be positive")
+	}
+	var ch Chunked
+	for lo := 0; lo < len(xs); lo += size {
+		ch.Chunks = append(ch.Chunks, xs[lo:min(lo+size, len(xs))])
+	}
+	return ch
+}
+
+// Flatten concatenates the chunks back into one slice.
+func (c Chunked) Flatten() []float64 {
+	n := 0
+	for _, ch := range c.Chunks {
+		n += len(ch)
+	}
+	out := make([]float64, 0, n)
+	for _, ch := range c.Chunks {
+		out = append(out, ch...)
+	}
+	return out
+}
+
+// Len reports the total element count.
+func (c Chunked) Len() int {
+	n := 0
+	for _, ch := range c.Chunks {
+		n += len(ch)
+	}
+	return n
+}

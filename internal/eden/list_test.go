@@ -1,0 +1,131 @@
+package eden
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestFromToSlice(t *testing.T) {
+	xs := []int{1, 2, 3}
+	got := ToSlice(FromSlice(xs))
+	if len(got) != 3 || got[0] != 1 || got[2] != 3 {
+		t.Fatalf("round trip = %v", got)
+	}
+	if FromSlice[int](nil) != nil {
+		t.Fatal("empty list not nil")
+	}
+	if ToSlice[int](nil) != nil {
+		t.Fatal("nil list yields non-nil slice")
+	}
+}
+
+func TestLength(t *testing.T) {
+	if Length(FromSlice([]int{1, 2, 3, 4})) != 4 || Length[int](nil) != 0 {
+		t.Fatal("Length wrong")
+	}
+}
+
+func TestMapPreservesOrder(t *testing.T) {
+	l := Map(func(x int) int { return x * 2 }, FromSlice([]int{1, 2, 3}))
+	got := ToSlice(l)
+	if got[0] != 2 || got[1] != 4 || got[2] != 6 {
+		t.Fatalf("Map = %v", got)
+	}
+	if Map(func(x int) int { return x }, nil) != nil {
+		t.Fatal("Map nil wrong")
+	}
+}
+
+func TestFilter(t *testing.T) {
+	l := Filter(func(x int) bool { return x%2 == 1 }, FromSlice([]int{1, 2, 3, 4, 5}))
+	got := ToSlice(l)
+	if len(got) != 3 || got[2] != 5 {
+		t.Fatalf("Filter = %v", got)
+	}
+}
+
+func TestFoldl(t *testing.T) {
+	got := Foldl(FromSlice([]int{1, 2, 3}), 0, func(a, v int) int { return a*10 + v })
+	if got != 123 {
+		t.Fatalf("Foldl = %d", got)
+	}
+}
+
+func TestAppend(t *testing.T) {
+	a := FromSlice([]int{1, 2})
+	b := FromSlice([]int{3})
+	got := ToSlice(Append(a, b))
+	if len(got) != 3 || got[2] != 3 {
+		t.Fatalf("Append = %v", got)
+	}
+	if ToSlice(Append(nil, b))[0] != 3 {
+		t.Fatal("Append nil head wrong")
+	}
+	// Original a unchanged (persistent semantics).
+	if Length(a) != 2 {
+		t.Fatal("Append mutated its first argument")
+	}
+}
+
+func TestConcatMap(t *testing.T) {
+	l := ConcatMap(func(x int) *Cell[int] {
+		out := make([]int, x)
+		for i := range out {
+			out[i] = x
+		}
+		return FromSlice(out)
+	}, FromSlice([]int{1, 0, 2}))
+	got := ToSlice(l)
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 2 {
+		t.Fatalf("ConcatMap = %v", got)
+	}
+}
+
+// Property: list pipeline equals slice pipeline.
+func TestListPipelineEquivalence(t *testing.T) {
+	prop := func(xs []int16) bool {
+		l := FromSlice(xs)
+		got := Foldl(Filter(func(x int32) bool { return x%2 == 0 },
+			Map(func(x int16) int32 { return int32(x) * 3 }, l)),
+			int64(0), func(a int64, v int32) int64 { return a + int64(v) })
+		var want int64
+		for _, x := range xs {
+			if v := int32(x) * 3; v%2 == 0 {
+				want += int64(v)
+			}
+		}
+		return got == want
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChunked(t *testing.T) {
+	xs := make([]float64, 2500)
+	for i := range xs {
+		xs[i] = float64(i)
+	}
+	ch := ChunkSlice(xs, 1000)
+	if len(ch.Chunks) != 3 || len(ch.Chunks[2]) != 500 {
+		t.Fatalf("chunks = %d, last %d", len(ch.Chunks), len(ch.Chunks[2]))
+	}
+	if ch.Len() != 2500 {
+		t.Fatalf("Len = %d", ch.Len())
+	}
+	flat := ch.Flatten()
+	for i := range xs {
+		if flat[i] != xs[i] {
+			t.Fatalf("flatten[%d] = %v", i, flat[i])
+		}
+	}
+}
+
+func TestChunkSliceInvalidPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	ChunkSlice(nil, 0)
+}

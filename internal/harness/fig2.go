@@ -1,0 +1,80 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+	"text/tabwriter"
+
+	"triolet/internal/iter"
+)
+
+// Fig2Table renders the live counterpart of paper Figure 2. The paper's
+// figure lists the iterator library's equations; this table *derives* the
+// constructor case analysis from the implementation by applying each
+// operation to a witness of each constructor and reporting the output
+// constructor. If a library change alters the dispatch behaviour, this
+// table (and the tests pinning it) change with it.
+func Fig2Table() string {
+	witnesses := []struct {
+		name string
+		mk   func() iter.Iter[int]
+	}{
+		{"IdxFlat", func() iter.Iter[int] { return iter.FromSlice([]int{1, 2, 3, 4}) }},
+		{"IdxFilter", func() iter.Iter[int] {
+			return iter.Filter(func(x int) bool { return x%2 == 0 }, iter.FromSlice([]int{1, 2, 3, 4}))
+		}},
+		{"StepFlat", func() iter.Iter[int] { return iter.StepFlat(iter.StepOf([]int{1, 2, 3})) }},
+		{"IdxNest", func() iter.Iter[int] {
+			return iter.ConcatMap(func(x int) iter.Iter[int] { return iter.Range(x) }, iter.Range(4))
+		}},
+		{"StepNest", func() iter.Iter[int] {
+			return iter.ConcatMap(func(x int) iter.Iter[int] { return iter.Range(x) },
+				iter.StepFlat(iter.StepOf([]int{1, 2})))
+		}},
+	}
+	ops := []struct {
+		name  string
+		apply func(iter.Iter[int]) iter.Iter[int]
+	}{
+		{"map f", func(it iter.Iter[int]) iter.Iter[int] {
+			return iter.Map(func(x int) int { return x + 1 }, it)
+		}},
+		{"filter p", func(it iter.Iter[int]) iter.Iter[int] {
+			return iter.Filter(func(x int) bool { return x > 0 }, it)
+		}},
+		{"concatMap f", func(it iter.Iter[int]) iter.Iter[int] {
+			return iter.ConcatMap(func(x int) iter.Iter[int] { return iter.Single(x) }, it)
+		}},
+		{"zip _ flat", func(it iter.Iter[int]) iter.Iter[int] {
+			z := iter.Zip(it, iter.FromSlice([]int{9, 9, 9, 9}))
+			return iter.Map(func(p iter.Pair[int, int]) int { return p.Fst }, z)
+		}},
+	}
+
+	var sb strings.Builder
+	sb.WriteString("Figure 2 (derived from the implementation): output constructor of each\n")
+	sb.WriteString("operation per input constructor; split? marks partitionable results\n")
+	w := tabwriter.NewWriter(&sb, 2, 4, 2, ' ', 0)
+	fmt.Fprint(w, "input\tsplit?")
+	for _, op := range ops {
+		fmt.Fprintf(w, "\t%s", op.name)
+	}
+	fmt.Fprintln(w)
+	for _, wit := range witnesses {
+		in := wit.mk()
+		fmt.Fprintf(w, "%s\t%v", wit.name, in.CanSplit())
+		for _, op := range ops {
+			out := op.apply(wit.mk())
+			mark := ""
+			if out.CanSplit() {
+				mark = "*"
+			}
+			fmt.Fprintf(w, "\t%v%s", out.Kind(), mark)
+		}
+		fmt.Fprintln(w)
+	}
+	w.Flush()
+	sb.WriteString("(* = splittable across parallel tasks; consumers — sum, reduce, collect,\n")
+	sb.WriteString("histogram — accept every constructor. See internal/iter/iter.go.)\n")
+	return sb.String()
+}

@@ -1,0 +1,140 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+	"text/tabwriter"
+	"time"
+
+	"triolet/internal/cluster"
+	"triolet/internal/domain"
+	"triolet/internal/parboil/cutcp"
+	"triolet/internal/parboil/mriq"
+	"triolet/internal/parboil/sgemm"
+	"triolet/internal/parboil/tpacf"
+	"triolet/internal/perfmodel"
+	"triolet/internal/transport"
+)
+
+// Real-execution scaling sweep: runs the actual distributed
+// implementations at increasing virtual-node counts and reports measured
+// wall time and fabric traffic. On a single physical core the compute
+// cannot speed up, so the interesting columns are the traffic growth and
+// the per-configuration overheads — the part of the scaling story that is
+// real rather than modeled. (The modeled 128-core figures live in
+// FigSeriesTable.)
+
+// SweepPoint is one (benchmark, nodes) measurement.
+type SweepPoint struct {
+	Bench   string
+	Nodes   int
+	Cores   int
+	Elapsed time.Duration
+	Bytes   int64
+	Msgs    int64
+	Err     string
+}
+
+// Sweep runs every benchmark's Triolet implementation at each node count.
+// A non-nil delay attaches wire-delay simulation to the fabric, so the
+// measured wall times include genuine communication time.
+func Sweep(nodeCounts []int, coresPerNode int, delay *transport.DelayConfig) []SweepPoint {
+	var out []SweepPoint
+	mriqIn := mriq.Gen(3000, 256, 201)
+	sgemmIn := sgemm.Gen(128, 128, 128, 202)
+	tpacfIn := tpacf.Gen(128, 16, 16, 203)
+	cutcpIn := cutcp.Gen(600, domain.Dim3{D: 16, H: 16, W: 16}, 0.5, 2.0, 204)
+
+	for _, nodes := range nodeCounts {
+		cfg := cluster.Config{Nodes: nodes, CoresPerNode: coresPerNode, NetDelay: delay}
+		out = append(out,
+			runSweep("mri-q", cfg, func(s *cluster.Session) error {
+				_, err := mriq.Triolet(s, mriqIn)
+				return err
+			}),
+			runSweep("sgemm", cfg, func(s *cluster.Session) error {
+				_, err := sgemm.Triolet(s, sgemmIn)
+				return err
+			}),
+			runSweep("tpacf", cfg, func(s *cluster.Session) error {
+				_, err := tpacf.Triolet(s, tpacfIn)
+				return err
+			}),
+			runSweep("cutcp", cfg, func(s *cluster.Session) error {
+				_, err := cutcp.Triolet(s, cutcpIn)
+				return err
+			}),
+		)
+	}
+	return out
+}
+
+func runSweep(bench string, cfg cluster.Config, body func(*cluster.Session) error) SweepPoint {
+	p := SweepPoint{Bench: bench, Nodes: cfg.Nodes, Cores: cfg.CoresPerNode}
+	start := time.Now()
+	stats, err := cluster.Run(cfg, body)
+	p.Elapsed = time.Since(start)
+	p.Bytes = stats.Bytes
+	p.Msgs = stats.Messages
+	if err != nil {
+		p.Err = err.Error()
+	}
+	return p
+}
+
+// SweepTable renders sweep results.
+func SweepTable(points []SweepPoint) string {
+	var sb strings.Builder
+	sb.WriteString("Real-execution sweep (Triolet implementations on the virtual cluster)\n")
+	w := tabwriter.NewWriter(&sb, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "benchmark\tnodes\tcores/node\twall time\tfabric bytes\tmessages\terror")
+	for _, p := range points {
+		fmt.Fprintf(w, "%s\t%d\t%d\t%s\t%d\t%d\t%s\n",
+			p.Bench, p.Nodes, p.Cores, p.Elapsed.Round(time.Millisecond), p.Bytes, p.Msgs, p.Err)
+	}
+	w.Flush()
+	return sb.String()
+}
+
+// FigSeriesCSV renders one scaling figure as CSV (cores, then one column
+// per series), for plotting.
+func FigSeriesCSV(mo *perfmodel.Model, b perfmodel.Bench) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "# figure %d: %s speedup over sequential C\n", b.Figure(), b)
+	sb.WriteString("cores,linear")
+	for _, impl := range perfmodel.Impls {
+		sb.WriteString("," + strings.ReplaceAll(impl.String(), ",", ""))
+	}
+	sb.WriteString("\n")
+	series := make([][]perfmodel.Point, len(perfmodel.Impls))
+	for i, impl := range perfmodel.Impls {
+		series[i] = mo.Series(b, impl)
+	}
+	for ci, cores := range perfmodel.CoreCounts {
+		fmt.Fprintf(&sb, "%d,%d", cores, cores)
+		for i := range perfmodel.Impls {
+			p := series[i][ci]
+			if p.Failed {
+				sb.WriteString(",")
+			} else {
+				fmt.Fprintf(&sb, ",%.2f", p.Speedup)
+			}
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+// Fig3CSV renders the sequential-time table as CSV.
+func Fig3CSV(mo *perfmodel.Model) string {
+	var sb strings.Builder
+	sb.WriteString("# figure 3: sequential execution time (seconds)\n")
+	sb.WriteString("benchmark,cpu_c,eden,triolet\n")
+	for _, b := range perfmodel.Benches {
+		fmt.Fprintf(&sb, "%s,%.2f,%.2f,%.2f\n", b,
+			mo.SeqTime(b, perfmodel.RefC),
+			mo.SeqTime(b, perfmodel.Eden),
+			mo.SeqTime(b, perfmodel.Triolet))
+	}
+	return sb.String()
+}

@@ -1,0 +1,63 @@
+package iter
+
+// This file reifies the paper's Figure 1 — the feature matrix of fusible
+// virtual data structure encodings — so that tests and the benchmark
+// harness can verify and print it. Each row is one encoding; each column a
+// capability:
+//
+//	             Parallel  Zip   Filter  Nested   Mutation
+//	Indexer      yes       yes   no      no       no
+//	Stepper      no        yes   yes     slow     no
+//	Fold         no        no    yes     yes      no
+//	Collector    no        no    yes     yes      yes
+//
+// "no" means the feature cannot be used or its output is not fusible;
+// "slow" means it works but may be much less efficient than a handwritten
+// loop. The hybrid Iter exists because no single row has every "yes".
+
+// Support grades a capability of an encoding.
+type Support uint8
+
+const (
+	// No means the feature cannot be used or its output is not fusible.
+	No Support = iota
+	// Slow means the feature works but may be much less efficient than a
+	// handwritten loop.
+	Slow
+	// Yes means the feature is supported and fusible.
+	Yes
+)
+
+func (s Support) String() string {
+	switch s {
+	case No:
+		return "no"
+	case Slow:
+		return "slow"
+	case Yes:
+		return "yes"
+	}
+	return "?"
+}
+
+// FeatureRow describes one encoding's capabilities.
+type FeatureRow struct {
+	Encoding string
+	Parallel Support
+	Zip      Support
+	Filter   Support
+	Nested   Support
+	Mutation Support
+}
+
+// FeatureMatrix returns the paper's Figure 1. The iter package's tests
+// verify each entry behaviourally where a behavioural check is meaningful
+// (see features_test.go), so the table stays honest.
+func FeatureMatrix() []FeatureRow {
+	return []FeatureRow{
+		{Encoding: "Indexer", Parallel: Yes, Zip: Yes, Filter: No, Nested: No, Mutation: No},
+		{Encoding: "Stepper", Parallel: No, Zip: Yes, Filter: Yes, Nested: Slow, Mutation: No},
+		{Encoding: "Fold", Parallel: No, Zip: No, Filter: Yes, Nested: Yes, Mutation: No},
+		{Encoding: "Collector", Parallel: No, Zip: No, Filter: Yes, Nested: Yes, Mutation: Yes},
+	}
+}

@@ -1,0 +1,116 @@
+package iter
+
+import "testing"
+
+// These tests back the Figure 1 feature matrix with behaviour: for each
+// "yes" cell there is a working demonstration in this package, and for the
+// load-bearing "no" cells the hybrid Iter shows how the limitation is
+// worked around.
+
+func TestFeatureMatrixShape(t *testing.T) {
+	m := FeatureMatrix()
+	if len(m) != 4 {
+		t.Fatalf("matrix has %d rows", len(m))
+	}
+	names := []string{"Indexer", "Stepper", "Fold", "Collector"}
+	for i, r := range m {
+		if r.Encoding != names[i] {
+			t.Errorf("row %d = %s, want %s", i, r.Encoding, names[i])
+		}
+	}
+	if m[0].Parallel != Yes || m[1].Parallel != No || m[2].Parallel != No || m[3].Parallel != No {
+		t.Error("Parallel column wrong")
+	}
+	if m[0].Zip != Yes || m[1].Zip != Yes || m[2].Zip != No || m[3].Zip != No {
+		t.Error("Zip column wrong")
+	}
+	if m[0].Filter != No || m[1].Filter != Yes || m[2].Filter != Yes || m[3].Filter != Yes {
+		t.Error("Filter column wrong")
+	}
+	if m[0].Nested != No || m[1].Nested != Slow || m[2].Nested != Yes || m[3].Nested != Yes {
+		t.Error("Nested column wrong")
+	}
+	if m[0].Mutation != No || m[1].Mutation != No || m[2].Mutation != No || m[3].Mutation != Yes {
+		t.Error("Mutation column wrong")
+	}
+}
+
+func TestSupportString(t *testing.T) {
+	if No.String() != "no" || Slow.String() != "slow" || Yes.String() != "yes" || Support(9).String() != "?" {
+		t.Fatal("Support.String wrong")
+	}
+}
+
+// Indexer: Parallel=yes — disjoint slices of an indexer can be consumed
+// independently and recombined (no shared cursor state).
+func TestIndexerParallelCapability(t *testing.T) {
+	ix := MapIdx(func(x int) int { return x * x }, IdxRange(100))
+	lo := FoldIdx(SliceIdx(ix, 0, 50), 0, func(a, v int) int { return a + v })
+	hi := FoldIdx(SliceIdx(ix, 50, 100), 0, func(a, v int) int { return a + v })
+	all := FoldIdx(ix, 0, func(a, v int) int { return a + v })
+	if lo+hi != all {
+		t.Fatalf("slice sums %d+%d != %d", lo, hi, all)
+	}
+}
+
+// Stepper: Zip=yes even for variable-length producers, which indexers
+// cannot express at all.
+func TestStepperZipCapability(t *testing.T) {
+	odds := FilterStep(func(x int) bool { return x%2 == 1 }, IdxToStep(IdxRange(10)))
+	squares := MapStep(func(x int) int { return x * x }, IdxToStep(IdxRange(5)))
+	got := drain(ZipStep(odds, squares))
+	want := []Pair[int, int]{{1, 0}, {3, 1}, {5, 4}, {7, 9}, {9, 16}}
+	if len(got) != len(want) {
+		t.Fatalf("zip = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("zip[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+// Fold: Nested=yes — nested folds are plain nested loops with no cursor
+// bookkeeping (the reason Iter consumes nesting levels through folds).
+func TestFoldNestedCapability(t *testing.T) {
+	triangle := func(n int) Fold[int] {
+		return func(yield func(int) bool) {
+			for i := range n {
+				if !yield(i) {
+					return
+				}
+			}
+		}
+	}
+	got := ReduceFold(ConcatMapFold(triangle, FoldOf([]int{3, 4})), 0,
+		func(a, v int) int { return a + v })
+	if got != 0+1+2+0+1+2+3 {
+		t.Fatalf("nested fold = %d", got)
+	}
+}
+
+// Collector: Mutation=yes — the worker may update shared state in place,
+// which is how histogramming works.
+func TestCollectorMutationCapability(t *testing.T) {
+	bins := make([]int, 3)
+	IdxToColl(IdxOf([]int{0, 2, 2, 1}))(func(b int) { bins[b]++ })
+	if bins[0] != 1 || bins[1] != 1 || bins[2] != 2 {
+		t.Fatalf("bins = %v", bins)
+	}
+}
+
+// The hybrid's reason to exist: filter over an indexer is impossible to
+// express as an indexer (Filter "no" in row 1) but the Iter wrapper
+// produces an indexer *of steppers*, restoring both filterability and
+// partitionability.
+func TestHybridWorksAroundIndexerFilterLimitation(t *testing.T) {
+	it := Filter(func(x int) bool { return x%3 == 0 }, Range(30))
+	// KIdxFilter is the simplified form of the indexer-of-steppers nest;
+	// the load-bearing property is that it still splits.
+	if it.Kind() != KIdxFilter || !it.CanSplit() {
+		t.Fatalf("hybrid filter: kind=%v canSplit=%v", it.Kind(), it.CanSplit())
+	}
+	if got := Count(it); got != 10 {
+		t.Fatalf("Count = %d", got)
+	}
+}

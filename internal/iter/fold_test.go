@@ -1,0 +1,136 @@
+package iter
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestFoldOf(t *testing.T) {
+	got := ReduceFold(FoldOf([]int{1, 2, 3}), 0, func(a, v int) int { return a + v })
+	if got != 6 {
+		t.Fatalf("FoldOf sum = %d", got)
+	}
+}
+
+func TestMapFold(t *testing.T) {
+	fo := MapFold(func(x int) int { return x + 1 }, FoldOf([]int{1, 2}))
+	got := ReduceFold(fo, 0, func(a, v int) int { return a*10 + v })
+	if got != 23 {
+		t.Fatalf("MapFold = %d", got)
+	}
+}
+
+func TestFilterFold(t *testing.T) {
+	fo := FilterFold(func(x int) bool { return x > 1 }, FoldOf([]int{1, 2, 3}))
+	got := ReduceFold(fo, 0, func(a, v int) int { return a + v })
+	if got != 5 {
+		t.Fatalf("FilterFold = %d", got)
+	}
+}
+
+func TestFilterFoldEarlyStopSkipsRest(t *testing.T) {
+	calls := 0
+	FilterFold(func(x int) bool { return x%2 == 0 }, FoldOf([]int{2, 4, 5, 6}))(func(v int) bool {
+		calls++
+		return v != 4
+	})
+	if calls != 2 { // 2 then 4, stop
+		t.Fatalf("calls = %d", calls)
+	}
+}
+
+func TestConcatMapFoldNests(t *testing.T) {
+	rep := func(x int) Fold[int] {
+		return func(yield func(int) bool) {
+			for range x {
+				if !yield(x) {
+					return
+				}
+			}
+		}
+	}
+	var got []int
+	ConcatMapFold(rep, FoldOf([]int{2, 0, 3}))(func(v int) bool {
+		got = append(got, v)
+		return true
+	})
+	if !eqSlices(got, []int{2, 2, 3, 3, 3}) {
+		t.Fatalf("ConcatMapFold = %v", got)
+	}
+}
+
+func TestConcatMapFoldEarlyStopPropagates(t *testing.T) {
+	outerCalls := 0
+	src := func(yield func(int) bool) {
+		for i := 1; i <= 10; i++ {
+			outerCalls++
+			if !yield(i) {
+				return
+			}
+		}
+	}
+	inner := func(x int) Fold[int] { return FoldOf([]int{x, x}) }
+	n := 0
+	ConcatMapFold(inner, Fold[int](src))(func(int) bool {
+		n++
+		return n < 3
+	})
+	if n != 3 {
+		t.Fatalf("consumed %d inner elements", n)
+	}
+	if outerCalls != 2 { // inner of 1 gives 2 elems, inner of 2 gives the 3rd
+		t.Fatalf("outer advanced %d times, want 2", outerCalls)
+	}
+}
+
+func TestFoldToColl(t *testing.T) {
+	sum := 0
+	FoldToColl(FoldOf([]int{1, 2, 3}))(func(v int) { sum += v })
+	if sum != 6 {
+		t.Fatalf("FoldToColl = %d", sum)
+	}
+}
+
+func TestMapColl(t *testing.T) {
+	c := MapColl(func(x int) int { return -x }, IdxToColl(IdxRange(3)))
+	var got []int
+	c.RunInto(&got)
+	if !eqSlices(got, []int{0, -1, -2}) {
+		t.Fatalf("MapColl = %v", got)
+	}
+}
+
+func TestCollectorRunIntoCount(t *testing.T) {
+	c := IdxToColl(IdxRange(4))
+	if c.Count() != 4 {
+		t.Fatalf("Count = %d", c.Count())
+	}
+	out := []int{99}
+	c.RunInto(&out)
+	if !eqSlices(out, []int{99, 0, 1, 2, 3}) {
+		t.Fatalf("RunInto appended wrong: %v", out)
+	}
+}
+
+// Property: fold pipelines agree with slice-level references.
+func TestFoldPipelineAgainstReference(t *testing.T) {
+	prop := func(xs []int16) bool {
+		f := func(x int16) int32 { return int32(x) * 2 }
+		p := func(x int32) bool { return x%3 == 0 }
+		var got []int32
+		FilterFold(p, MapFold(f, FoldOf(xs)))(func(v int32) bool {
+			got = append(got, v)
+			return true
+		})
+		var want []int32
+		for _, x := range xs {
+			if v := f(x); p(v) {
+				want = append(want, v)
+			}
+		}
+		return eqSlices(got, want)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}

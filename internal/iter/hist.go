@@ -1,0 +1,66 @@
+package iter
+
+import "fmt"
+
+// Histogram counts, for each bin in [0, n), how many elements of it fall in
+// that bin. Out-of-range bins are dropped (tpacf relies on clamping done by
+// its scoring function, so dropping keeps the skeleton total). The
+// implementation converts the fused iterator to a collector whose worker
+// mutates the bin array in place (paper §3.1 "Collectors").
+func Histogram(n int, it Iter[int]) []int64 {
+	if n < 0 {
+		panic(fmt.Sprintf("iter: Histogram(%d)", n))
+	}
+	bins := make([]int64, n)
+	Collect(it)(func(b int) {
+		if b >= 0 && b < n {
+			bins[b]++
+		}
+	})
+	return bins
+}
+
+// Bin is one weighted histogram update: add W to bin I.
+type Bin[W Number] struct {
+	I int
+	W W
+}
+
+// WeightedHistogram accumulates, for each bin in [0, n), the total weight
+// of updates targeting that bin. cutcp's floating-point histogram (paper
+// §1, §4.5) is WeightedHistogram over grid-point potentials. Updates to
+// out-of-range bins are dropped.
+func WeightedHistogram[W Number](n int, it Iter[Bin[W]]) []W {
+	if n < 0 {
+		panic(fmt.Sprintf("iter: WeightedHistogram(%d)", n))
+	}
+	bins := make([]W, n)
+	Collect(it)(func(u Bin[W]) {
+		if u.I >= 0 && u.I < n {
+			bins[u.I] += u.W
+		}
+	})
+	return bins
+}
+
+// HistogramInto adds it's counts into an existing bin array, enabling
+// per-thread private histograms that are merged afterwards (the two-level
+// reduction of paper §3.4).
+func HistogramInto(bins []int64, it Iter[int]) {
+	n := len(bins)
+	Collect(it)(func(b int) {
+		if b >= 0 && b < n {
+			bins[b]++
+		}
+	})
+}
+
+// WeightedHistogramInto adds it's weighted updates into an existing array.
+func WeightedHistogramInto[W Number](bins []W, it Iter[Bin[W]]) {
+	n := len(bins)
+	Collect(it)(func(u Bin[W]) {
+		if u.I >= 0 && u.I < n {
+			bins[u.I] += u.W
+		}
+	})
+}

@@ -1,0 +1,109 @@
+package iter
+
+import (
+	"testing"
+	"testing/quick"
+
+	"triolet/internal/domain"
+)
+
+func TestHistogramBasic(t *testing.T) {
+	bins := Histogram(4, FromSlice([]int{0, 1, 1, 3, 3, 3}))
+	want := []int64{1, 2, 0, 3}
+	if !eqSlices(bins, want) {
+		t.Fatalf("Histogram = %v, want %v", bins, want)
+	}
+}
+
+func TestHistogramDropsOutOfRange(t *testing.T) {
+	bins := Histogram(2, FromSlice([]int{-1, 0, 1, 2, 5}))
+	if bins[0] != 1 || bins[1] != 1 {
+		t.Fatalf("Histogram = %v", bins)
+	}
+}
+
+func TestHistogramNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Histogram(-1, Empty[int]())
+}
+
+func TestHistogramOverFusedPipeline(t *testing.T) {
+	// The cutcp/tpacf pattern: histogram over a filtered nested traversal.
+	it := ConcatMap(func(x int) Iter[int] { return Range(x) }, Range(5))
+	it = Filter(func(b int) bool { return b != 1 }, it)
+	bins := Histogram(4, it)
+	// Range(x) for x in 0..4 yields 0;01;012;0123 → counts 0:4,1:3,2:2,3:1,
+	// minus the b==1 entries.
+	want := []int64{4, 0, 2, 1}
+	if !eqSlices(bins, want) {
+		t.Fatalf("Histogram = %v, want %v", bins, want)
+	}
+}
+
+func TestWeightedHistogram(t *testing.T) {
+	it := FromSlice([]Bin[float64]{{I: 0, W: 1.5}, {I: 2, W: 2.0}, {I: 0, W: 0.5}, {I: 9, W: 7}})
+	bins := WeightedHistogram(3, it)
+	if bins[0] != 2.0 || bins[1] != 0 || bins[2] != 2.0 {
+		t.Fatalf("WeightedHistogram = %v", bins)
+	}
+}
+
+func TestWeightedHistogramNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	WeightedHistogram(-2, Empty[Bin[float64]]())
+}
+
+// Property: histogram over a partitioned input, merged by addition, equals
+// the sequential histogram (the two-level reduction invariant).
+func TestHistogramPartitionMerge(t *testing.T) {
+	prop := func(xs []uint8, p0 uint8) bool {
+		vals := make([]int, len(xs))
+		for i, x := range xs {
+			vals[i] = int(x % 16)
+		}
+		seq := Histogram(16, FromSlice(vals))
+		p := int(p0%5) + 1
+		merged := make([]int64, 16)
+		it := FromSlice(vals)
+		n, _ := it.OuterLen()
+		var blocks = make([][]int64, 0, p)
+		for _, r := range domain.BlockPartition(n, p) {
+			blocks = append(blocks, Histogram(16, Split(it, r)))
+		}
+		for _, b := range blocks {
+			for i, v := range b {
+				merged[i] += v
+			}
+		}
+		return eqSlices(merged, seq)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramInto(t *testing.T) {
+	bins := make([]int64, 3)
+	HistogramInto(bins, FromSlice([]int{0, 2, 2}))
+	HistogramInto(bins, FromSlice([]int{1, 2, -5, 8}))
+	if !eqSlices(bins, []int64{1, 1, 3}) {
+		t.Fatalf("HistogramInto = %v", bins)
+	}
+}
+
+func TestWeightedHistogramInto(t *testing.T) {
+	bins := make([]float32, 2)
+	WeightedHistogramInto(bins, FromSlice([]Bin[float32]{{I: 0, W: 1}, {I: 1, W: 2}}))
+	WeightedHistogramInto(bins, FromSlice([]Bin[float32]{{I: 1, W: 3}, {I: 7, W: 9}}))
+	if bins[0] != 1 || bins[1] != 5 {
+		t.Fatalf("WeightedHistogramInto = %v", bins)
+	}
+}

@@ -1,0 +1,139 @@
+// Package iter implements Triolet's hybrid fusible iterators (paper §3).
+//
+// Four virtual data structure encodings (paper Fig. 1) are provided:
+//
+//   - Idx (indexer): size + random-access lookup. Parallelizable and
+//     zippable, but cannot encode variable-output loops.
+//   - Step (stepper): a restartable cursor yielding one element at a time.
+//     Zippable and filterable, sequential only.
+//   - Fold: push-based traversal driving a worker function; supports nested
+//     traversal but no zip.
+//   - Collector: an imperative fold whose worker mutates state (used for
+//     histogramming and packing variable-length output).
+//
+// The hybrid Iter type (iter.go) combines indexers and steppers at each
+// nesting level so irregular loops (Filter, ConcatMap) fuse with consumers
+// (Sum, Reduce, Collect, histograms) while preserving outer-loop
+// parallelism — the paper's central mechanism. Where the Triolet compiler
+// performed constructor-aware inlining, this package performs the same
+// case analysis at iterator-construction time; the composed closures are
+// the fused loop bodies.
+package iter
+
+import "fmt"
+
+// Idx is the indexer encoding: a virtual collection of N elements where
+// element i is computed by At(i). Because any element can be retrieved
+// independently, indexers can be split across parallel tasks and zipped.
+type Idx[T any] struct {
+	N  int
+	At func(i int) T
+}
+
+// IdxOf wraps a slice as an indexer without copying.
+func IdxOf[T any](xs []T) Idx[T] {
+	return Idx[T]{N: len(xs), At: func(i int) T { return xs[i] }}
+}
+
+// IdxRange is the indexer of the integers [0, n).
+func IdxRange(n int) Idx[int] {
+	if n < 0 {
+		panic(fmt.Sprintf("iter: IdxRange(%d)", n))
+	}
+	return Idx[int]{N: n, At: func(i int) int { return i }}
+}
+
+// MapIdx builds the indexer whose lookup applies f after ix's lookup —
+// straight-line code, so composition fuses (paper §3.1 "Indexers").
+func MapIdx[T, U any](f func(T) U, ix Idx[T]) Idx[U] {
+	return Idx[U]{N: ix.N, At: func(i int) U { return f(ix.At(i)) }}
+}
+
+// ZipIdx pairs elements at corresponding indices; the result covers the
+// intersection (shorter) of the two domains.
+func ZipIdx[A, B any](a Idx[A], b Idx[B]) Idx[Pair[A, B]] {
+	return Idx[Pair[A, B]]{
+		N:  min(a.N, b.N),
+		At: func(i int) Pair[A, B] { return Pair[A, B]{Fst: a.At(i), Snd: b.At(i)} },
+	}
+}
+
+// ZipWithIdx combines elements at corresponding indices with f.
+func ZipWithIdx[A, B, C any](f func(A, B) C, a Idx[A], b Idx[B]) Idx[C] {
+	return Idx[C]{
+		N:  min(a.N, b.N),
+		At: func(i int) C { return f(a.At(i), b.At(i)) },
+	}
+}
+
+// SliceIdx restricts an indexer to the sub-range [lo, hi), re-basing
+// indices at zero. Parallel partitioning hands each task a SliceIdx.
+func SliceIdx[T any](ix Idx[T], lo, hi int) Idx[T] {
+	if lo < 0 || hi > ix.N || lo > hi {
+		panic(fmt.Sprintf("iter: SliceIdx[%d,%d) of %d", lo, hi, ix.N))
+	}
+	return Idx[T]{N: hi - lo, At: func(i int) T { return ix.At(lo + i) }}
+}
+
+// FoldIdx reduces the indexer left-to-right with worker w from initial
+// accumulator z. This is the idxToFold conversion of paper §3.3.
+func FoldIdx[T, A any](ix Idx[T], z A, w func(A, T) A) A {
+	acc := z
+	for i := 0; i < ix.N; i++ {
+		acc = w(acc, ix.At(i))
+	}
+	return acc
+}
+
+// IdxToStep converts an indexer to a stepper that yields elements in index
+// order (paper Fig. 2's idxToStep). The conversion loses parallelism but
+// gains filterability.
+func IdxToStep[T any](ix Idx[T]) Step[T] {
+	return Step[T]{Gen: func() Cursor[T] {
+		i := 0
+		return func() (T, bool) {
+			if i >= ix.N {
+				var zero T
+				return zero, false
+			}
+			v := ix.At(i)
+			i++
+			return v, true
+		}
+	}}
+}
+
+// IdxToFold converts an indexer to the push-based fold encoding.
+func IdxToFold[T any](ix Idx[T]) Fold[T] {
+	return func(yield func(T) bool) {
+		for i := 0; i < ix.N; i++ {
+			if !yield(ix.At(i)) {
+				return
+			}
+		}
+	}
+}
+
+// IdxToColl converts an indexer to a collector that pushes every element to
+// the side-effecting worker (paper §3.1 idxToColl). The conversion removes
+// the potential for parallelization.
+func IdxToColl[T any](ix Idx[T]) Collector[T] {
+	return func(w func(T)) {
+		for i := 0; i < ix.N; i++ {
+			w(ix.At(i))
+		}
+	}
+}
+
+// Pair is an anonymous product; Zip produces Pairs.
+type Pair[A, B any] struct {
+	Fst A
+	Snd B
+}
+
+// Triple is a three-way product; Zip3 produces Triples.
+type Triple[A, B, C any] struct {
+	Fst A
+	Snd B
+	Trd C
+}

@@ -1,0 +1,160 @@
+package iter
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestIdxOf(t *testing.T) {
+	ix := IdxOf([]int{10, 20, 30})
+	if ix.N != 3 || ix.At(1) != 20 {
+		t.Fatalf("IdxOf wrong: N=%d At(1)=%d", ix.N, ix.At(1))
+	}
+}
+
+func TestIdxRange(t *testing.T) {
+	ix := IdxRange(4)
+	for i := range 4 {
+		if ix.At(i) != i {
+			t.Fatalf("IdxRange.At(%d) = %d", i, ix.At(i))
+		}
+	}
+}
+
+func TestIdxRangeNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	IdxRange(-1)
+}
+
+func TestMapIdxFuses(t *testing.T) {
+	// Mapping twice composes lookups: the paper's example of indexer fusion.
+	ix := MapIdx(func(x int) int { return x * 10 }, MapIdx(func(x int) int { return x + 1 }, IdxRange(5)))
+	if ix.At(3) != 40 {
+		t.Fatalf("composed lookup = %d, want 40", ix.At(3))
+	}
+}
+
+func TestZipIdxIntersection(t *testing.T) {
+	z := ZipIdx(IdxOf([]int{1, 2, 3}), IdxOf([]string{"a", "b"}))
+	if z.N != 2 {
+		t.Fatalf("zip length = %d, want 2", z.N)
+	}
+	if p := z.At(1); p.Fst != 2 || p.Snd != "b" {
+		t.Fatalf("zip At(1) = %+v", p)
+	}
+}
+
+func TestZipWithIdx(t *testing.T) {
+	z := ZipWithIdx(func(a, b int) int { return a * b }, IdxOf([]int{1, 2, 3}), IdxOf([]int{4, 5, 6}))
+	if z.N != 3 || z.At(2) != 18 {
+		t.Fatalf("ZipWithIdx wrong: N=%d At(2)=%d", z.N, z.At(2))
+	}
+}
+
+func TestSliceIdx(t *testing.T) {
+	s := SliceIdx(IdxRange(10), 3, 7)
+	if s.N != 4 {
+		t.Fatalf("slice N = %d", s.N)
+	}
+	if s.At(0) != 3 || s.At(3) != 6 {
+		t.Fatalf("slice rebasing wrong: %d %d", s.At(0), s.At(3))
+	}
+}
+
+func TestSliceIdxBoundsPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { SliceIdx(IdxRange(5), -1, 3) },
+		func() { SliceIdx(IdxRange(5), 0, 6) },
+		func() { SliceIdx(IdxRange(5), 4, 2) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestFoldIdx(t *testing.T) {
+	got := FoldIdx(IdxRange(5), 100, func(a, v int) int { return a + v })
+	if got != 110 {
+		t.Fatalf("FoldIdx = %d", got)
+	}
+}
+
+func TestIdxToStepOrder(t *testing.T) {
+	cur := IdxToStep(IdxOf([]int{7, 8, 9})).Gen()
+	for _, want := range []int{7, 8, 9} {
+		v, ok := cur()
+		if !ok || v != want {
+			t.Fatalf("step got (%d,%v), want %d", v, ok, want)
+		}
+	}
+	if _, ok := cur(); ok {
+		t.Fatal("cursor not exhausted")
+	}
+	if _, ok := cur(); ok {
+		t.Fatal("cursor resurrected after exhaustion")
+	}
+}
+
+func TestIdxToStepRestartable(t *testing.T) {
+	s := IdxToStep(IdxRange(3))
+	for range 2 { // two independent traversals
+		n := CountStep(s)
+		if n != 3 {
+			t.Fatalf("traversal counted %d", n)
+		}
+	}
+}
+
+func TestIdxToFoldEarlyStop(t *testing.T) {
+	var seen []int
+	IdxToFold(IdxRange(100))(func(v int) bool {
+		seen = append(seen, v)
+		return v < 2
+	})
+	// yield(0)=true, yield(1)=true, yield(2)=false → exactly 3 calls.
+	if len(seen) != 3 {
+		t.Fatalf("early stop saw %v", seen)
+	}
+}
+
+func TestIdxToColl(t *testing.T) {
+	var sum int
+	IdxToColl(IdxRange(5))(func(v int) { sum += v })
+	if sum != 10 {
+		t.Fatalf("collector sum = %d", sum)
+	}
+}
+
+// Property: slicing then folding equals folding the corresponding slice of
+// the materialized elements.
+func TestSliceIdxAgreesWithSlices(t *testing.T) {
+	prop := func(xs []int, a, b uint8) bool {
+		ix := IdxOf(xs)
+		lo := 0
+		hi := len(xs)
+		if len(xs) > 0 {
+			lo = int(a) % len(xs)
+			hi = lo + int(b)%(len(xs)-lo+1)
+		}
+		s := SliceIdx(ix, lo, hi)
+		got := FoldIdx(s, 0, func(acc, v int) int { return acc + v })
+		want := 0
+		for _, v := range xs[lo:hi] {
+			want += v
+		}
+		return got == want
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,487 @@
+package iter
+
+import (
+	"fmt"
+
+	"triolet/internal/domain"
+)
+
+// Kind identifies which constructor built an Iter (paper §3.2's GADT
+// constructors). Library functions dispatch on the kind exactly as the
+// equations of paper Fig. 2 dispatch on constructors; because the kind is
+// known when an iterator is constructed, each operation composes concrete
+// loop code rather than leaving an interpretive layer — the Go analog of
+// Triolet's constructor-aware inlining.
+type Kind uint8
+
+const (
+	// KIdxFlat is an indexer of values: a regular, parallelizable loop.
+	KIdxFlat Kind = iota
+	// KStepFlat is a stepper of values: a sequential variable-length loop.
+	KStepFlat
+	// KIdxNest is an indexer of inner iterators: a loop nest whose outer
+	// loop is regular and parallelizable while inner loops may be
+	// irregular. Filter and ConcatMap over regular input produce this.
+	KIdxNest
+	// KStepNest is a stepper of inner iterators: a fully sequential nest.
+	KStepNest
+	// KIdxFilter is a flat indexer with a fused rejection test: index i
+	// yields zero or one elements. Semantically it is the IdxNest of
+	// zero-or-one-element steppers that paper Fig. 2's filter equation
+	// constructs — KIdxFilter is the simplified form Triolet's optimizer
+	// reduces that construction to, kept as an explicit constructor here
+	// because Go has no compile-time stage to erase the per-element
+	// stepper allocations. It remains splittable: indices are not
+	// reassigned (paper §3.2's key invariant).
+	KIdxFilter
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KIdxFlat:
+		return "IdxFlat"
+	case KStepFlat:
+		return "StepFlat"
+	case KIdxNest:
+		return "IdxNest"
+	case KStepNest:
+		return "StepNest"
+	case KIdxFilter:
+		return "IdxFilter"
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// ParHint records how the user asked a loop to be parallelized (paper
+// §3.4). Loops are sequential by default; Par requests distributed + thread
+// parallelism, LocalPar thread parallelism within one node.
+type ParHint uint8
+
+const (
+	// Sequential executes on the calling goroutine.
+	Sequential ParHint = iota
+	// NodePar parallelizes across cores of the local node only (localpar).
+	NodePar
+	// ClusterPar parallelizes across nodes and cores (par).
+	ClusterPar
+)
+
+func (h ParHint) String() string {
+	switch h {
+	case Sequential:
+		return "seq"
+	case NodePar:
+		return "localpar"
+	case ClusterPar:
+		return "par"
+	}
+	return fmt.Sprintf("ParHint(%d)", uint8(h))
+}
+
+// Iter is the hybrid iterator (paper §3.2): a loop nest encoded with either
+// an indexer or a stepper at each nesting level. All skeleton functions in
+// this package preserve the invariant that an iterator's outer structure is
+// determined solely by its input's structure, so compositions of calls
+// always simplify to a fused loop nest.
+type Iter[T any] struct {
+	kind  Kind
+	idx   Idx[T]        // KIdxFlat
+	step  Step[T]       // KStepFlat
+	idxN  Idx[Iter[T]]  // KIdxNest
+	stepN Step[Iter[T]] // KStepNest
+	fidx  FIdx[T]       // KIdxFilter
+	hint  ParHint
+}
+
+// FIdx is the partial indexer backing KIdxFilter: At reports ok=false when
+// index i's element is rejected.
+type FIdx[T any] struct {
+	N  int
+	At func(i int) (T, bool)
+}
+
+// IdxFilter wraps a partial indexer as an iterator.
+func IdxFilter[T any](fx FIdx[T]) Iter[T] { return Iter[T]{kind: KIdxFilter, fidx: fx} }
+
+// Kind reports which constructor built the iterator.
+func (it Iter[T]) Kind() Kind { return it.kind }
+
+// Hint reports the iterator's parallelism hint.
+func (it Iter[T]) Hint() ParHint { return it.hint }
+
+// IdxFlat wraps an indexer as an iterator.
+func IdxFlat[T any](ix Idx[T]) Iter[T] { return Iter[T]{kind: KIdxFlat, idx: ix} }
+
+// StepFlat wraps a stepper as an iterator.
+func StepFlat[T any](s Step[T]) Iter[T] { return Iter[T]{kind: KStepFlat, step: s} }
+
+// IdxNest wraps an indexer of inner iterators as a nested iterator.
+func IdxNest[T any](ix Idx[Iter[T]]) Iter[T] { return Iter[T]{kind: KIdxNest, idxN: ix} }
+
+// StepNest wraps a stepper of inner iterators as a nested iterator.
+func StepNest[T any](s Step[Iter[T]]) Iter[T] { return Iter[T]{kind: KStepNest, stepN: s} }
+
+// FromSlice iterates over the elements of a slice (no copy).
+func FromSlice[T any](xs []T) Iter[T] { return IdxFlat(IdxOf(xs)) }
+
+// Range iterates over the integers [0, n) (the counted-loop iterator).
+func Range(n int) Iter[int] { return IdxFlat(IdxRange(n)) }
+
+// RangeOf iterates over the integers of r.
+func RangeOf(r domain.Range) Iter[int] {
+	return IdxFlat(Idx[int]{N: r.Len(), At: func(i int) int { return r.Lo + i }})
+}
+
+// Empty is the iterator with no elements.
+func Empty[T any]() Iter[T] {
+	return IdxFlat(Idx[T]{N: 0, At: func(int) T { panic("iter: Empty.At") }})
+}
+
+// Single is the iterator yielding exactly v.
+func Single[T any](v T) Iter[T] {
+	return IdxFlat(Idx[T]{N: 1, At: func(int) T { return v }})
+}
+
+// Par marks the iterator for distributed + thread parallelism (paper's par
+// hint). Consumers that understand the hint (the skeletons in
+// internal/core) choose a distributed implementation.
+func Par[T any](it Iter[T]) Iter[T] { it.hint = ClusterPar; return it }
+
+// LocalPar marks the iterator for thread parallelism within one node
+// (paper's localpar hint).
+func LocalPar[T any](it Iter[T]) Iter[T] { it.hint = NodePar; return it }
+
+// Seq clears any parallelism hint.
+func Seq[T any](it Iter[T]) Iter[T] { it.hint = Sequential; return it }
+
+// ToStep flattens any iterator into a sequential stepper (paper Fig. 2's
+// toStep, used when zipping irregular iterators). Parallelism potential is
+// lost; ordering is preserved.
+func ToStep[T any](it Iter[T]) Step[T] {
+	switch it.kind {
+	case KIdxFlat:
+		return IdxToStep(it.idx)
+	case KIdxFilter:
+		fx := it.fidx
+		return Step[T]{Gen: func() Cursor[T] {
+			i := 0
+			return func() (T, bool) {
+				for i < fx.N {
+					v, ok := fx.At(i)
+					i++
+					if ok {
+						return v, true
+					}
+				}
+				var zero T
+				return zero, false
+			}
+		}}
+	case KStepFlat:
+		return it.step
+	case KIdxNest:
+		return ConcatMapStep(ToStep[T], IdxToStep(it.idxN))
+	case KStepNest:
+		return ConcatMapStep(ToStep[T], it.stepN)
+	}
+	panic("iter: bad kind")
+}
+
+// Map applies f to every element. The output loop structure mirrors the
+// input structure, so regular input stays parallelizable and nested input
+// stays a loop nest.
+func Map[T, U any](f func(T) U, it Iter[T]) Iter[U] {
+	out := Iter[U]{kind: it.kind, hint: it.hint}
+	switch it.kind {
+	case KIdxFlat:
+		out.idx = MapIdx(f, it.idx)
+	case KStepFlat:
+		out.step = MapStep(f, it.step)
+	case KIdxNest:
+		out.idxN = MapIdx(func(inner Iter[T]) Iter[U] { return Map(f, inner) }, it.idxN)
+	case KStepNest:
+		out.stepN = MapStep(func(inner Iter[T]) Iter[U] { return Map(f, inner) }, it.stepN)
+	case KIdxFilter:
+		fx := it.fidx
+		out.fidx = FIdx[U]{N: fx.N, At: func(i int) (U, bool) {
+			v, ok := fx.At(i)
+			if !ok {
+				var zero U
+				return zero, false
+			}
+			return f(v), true
+		}}
+	default:
+		panic("iter: bad kind")
+	}
+	return out
+}
+
+// Filter keeps elements satisfying pred (paper Fig. 2's filter). Over a
+// flat indexer it produces a partial indexer (KIdxFilter, the simplified
+// form of Fig. 2's indexer of zero-or-one-element steppers): indices are
+// not reassigned, so the outer loop remains partitionable across parallel
+// tasks, which is the key to fusing sum-of-filter without a counting pass
+// (paper §3.2).
+func Filter[T any](pred func(T) bool, it Iter[T]) Iter[T] {
+	out := Iter[T]{hint: it.hint}
+	switch it.kind {
+	case KIdxFlat:
+		// Paper Fig. 2 builds IdxNest(mapIdx(StepFlat . filterStep pred .
+		// unitStep)); KIdxFilter is that term after simplification.
+		ix := it.idx
+		out.kind = KIdxFilter
+		out.fidx = FIdx[T]{N: ix.N, At: func(i int) (T, bool) {
+			v := ix.At(i)
+			return v, pred(v)
+		}}
+	case KIdxFilter:
+		// Filtering twice composes the rejection tests.
+		fx := it.fidx
+		out.kind = KIdxFilter
+		out.fidx = FIdx[T]{N: fx.N, At: func(i int) (T, bool) {
+			v, ok := fx.At(i)
+			return v, ok && pred(v)
+		}}
+	case KStepFlat:
+		out.kind = KStepFlat
+		out.step = FilterStep(pred, it.step)
+	case KIdxNest:
+		out.kind = KIdxNest
+		out.idxN = MapIdx(func(inner Iter[T]) Iter[T] { return Filter(pred, inner) }, it.idxN)
+	case KStepNest:
+		out.kind = KStepNest
+		out.stepN = MapStep(func(inner Iter[T]) Iter[T] { return Filter(pred, inner) }, it.stepN)
+	default:
+		panic("iter: bad kind")
+	}
+	return out
+}
+
+// ConcatMap expands every element into an inner iterator and concatenates
+// the results (paper Fig. 2's concatMap) — the nested-traversal skeleton.
+// Over a flat indexer it adds one level of nesting, preserving outer-loop
+// parallelism instead of falling back to slow stepper nesting.
+func ConcatMap[T, U any](f func(T) Iter[U], it Iter[T]) Iter[U] {
+	out := Iter[U]{hint: it.hint}
+	switch it.kind {
+	case KIdxFlat:
+		out.kind = KIdxNest
+		out.idxN = MapIdx(f, it.idx)
+	case KIdxFilter:
+		fx := it.fidx
+		out.kind = KIdxNest
+		out.idxN = Idx[Iter[U]]{N: fx.N, At: func(i int) Iter[U] {
+			v, ok := fx.At(i)
+			if !ok {
+				return Empty[U]()
+			}
+			return f(v)
+		}}
+	case KStepFlat:
+		out.kind = KStepNest
+		out.stepN = MapStep(f, it.step)
+	case KIdxNest:
+		out.kind = KIdxNest
+		out.idxN = MapIdx(func(inner Iter[T]) Iter[U] { return ConcatMap(f, inner) }, it.idxN)
+	case KStepNest:
+		out.kind = KStepNest
+		out.stepN = MapStep(func(inner Iter[T]) Iter[U] { return ConcatMap(f, inner) }, it.stepN)
+	default:
+		panic("iter: bad kind")
+	}
+	return out
+}
+
+// Zip pairs corresponding elements (paper Fig. 2's zip). Two flat indexers
+// zip into a flat indexer, preserving parallelism for regular loops; any
+// other combination is zipped sequentially through steppers.
+func Zip[A, B any](a Iter[A], b Iter[B]) Iter[Pair[A, B]] {
+	hint := mergeHint(a.hint, b.hint)
+	if a.kind == KIdxFlat && b.kind == KIdxFlat {
+		out := IdxFlat(ZipIdx(a.idx, b.idx))
+		out.hint = hint
+		return out
+	}
+	out := StepFlat(ZipStep(ToStep(a), ToStep(b)))
+	out.hint = hint
+	return out
+}
+
+// ZipWith combines corresponding elements with f.
+func ZipWith[A, B, C any](f func(A, B) C, a Iter[A], b Iter[B]) Iter[C] {
+	hint := mergeHint(a.hint, b.hint)
+	if a.kind == KIdxFlat && b.kind == KIdxFlat {
+		out := IdxFlat(ZipWithIdx(f, a.idx, b.idx))
+		out.hint = hint
+		return out
+	}
+	out := Map(func(p Pair[A, B]) C { return f(p.Fst, p.Snd) }, Zip(a, b))
+	out.hint = hint
+	return out
+}
+
+// Zip3 triples corresponding elements of three iterators.
+func Zip3[A, B, C any](a Iter[A], b Iter[B], c Iter[C]) Iter[Triple[A, B, C]] {
+	hint := mergeHint(mergeHint(a.hint, b.hint), c.hint)
+	if a.kind == KIdxFlat && b.kind == KIdxFlat && c.kind == KIdxFlat {
+		n := min(a.idx.N, b.idx.N, c.idx.N)
+		ia, ib, ic := a.idx, b.idx, c.idx
+		out := IdxFlat(Idx[Triple[A, B, C]]{N: n, At: func(i int) Triple[A, B, C] {
+			return Triple[A, B, C]{Fst: ia.At(i), Snd: ib.At(i), Trd: ic.At(i)}
+		}})
+		out.hint = hint
+		return out
+	}
+	out := Map(func(p Pair[Pair[A, B], C]) Triple[A, B, C] {
+		return Triple[A, B, C]{Fst: p.Fst.Fst, Snd: p.Fst.Snd, Trd: p.Snd}
+	}, Zip(Zip(a, b), c))
+	out.hint = hint
+	return out
+}
+
+func mergeHint(a, b ParHint) ParHint { return max(a, b) }
+
+// Collect converts the iterator into a collector that pushes every element
+// to a side-effecting worker (paper Fig. 2's collect). Each nesting level
+// becomes one loop of the resulting loop nest.
+func Collect[T any](it Iter[T]) Collector[T] {
+	switch it.kind {
+	case KIdxFlat:
+		return IdxToColl(it.idx)
+	case KStepFlat:
+		return StepToColl(it.step)
+	case KIdxNest:
+		inner := it.idxN
+		return func(w func(T)) {
+			for i := 0; i < inner.N; i++ {
+				Collect(inner.At(i))(w)
+			}
+		}
+	case KStepNest:
+		inner := it.stepN
+		return func(w func(T)) {
+			cur := inner.Gen()
+			for {
+				sub, ok := cur()
+				if !ok {
+					return
+				}
+				Collect(sub)(w)
+			}
+		}
+	case KIdxFilter:
+		fx := it.fidx
+		return func(w func(T)) {
+			for i := 0; i < fx.N; i++ {
+				if v, ok := fx.At(i); ok {
+					w(v)
+				}
+			}
+		}
+	}
+	panic("iter: bad kind")
+}
+
+// Reduce folds the iterator left-to-right with worker w from initial
+// accumulator z, consuming each nesting level as one loop (the generic form
+// of paper Fig. 2's sum).
+func Reduce[T, A any](it Iter[T], z A, w func(A, T) A) A {
+	switch it.kind {
+	case KIdxFlat:
+		return FoldIdx(it.idx, z, w)
+	case KStepFlat:
+		return FoldStep(it.step, z, w)
+	case KIdxNest:
+		return FoldIdx(it.idxN, z, func(acc A, inner Iter[T]) A { return Reduce(inner, acc, w) })
+	case KStepNest:
+		return FoldStep(it.stepN, z, func(acc A, inner Iter[T]) A { return Reduce(inner, acc, w) })
+	case KIdxFilter:
+		fx := it.fidx
+		acc := z
+		for i := 0; i < fx.N; i++ {
+			if v, ok := fx.At(i); ok {
+				acc = w(acc, v)
+			}
+		}
+		return acc
+	}
+	panic("iter: bad kind")
+}
+
+// Number is re-exported from array's constraint set for the numeric
+// reductions. Defined here so iter has no dependency on array.
+type Number interface {
+	~int | ~int8 | ~int16 | ~int32 | ~int64 |
+		~uint | ~uint8 | ~uint16 | ~uint32 | ~uint64 |
+		~float32 | ~float64
+}
+
+// Sum adds all elements (paper Fig. 2's sum).
+func Sum[T Number](it Iter[T]) T {
+	var zero T
+	return Reduce(it, zero, func(a, v T) T { return a + v })
+}
+
+// Count returns the number of elements the iterator yields.
+func Count[T any](it Iter[T]) int {
+	return Reduce(it, 0, func(n int, _ T) int { return n + 1 })
+}
+
+// ToSlice materializes the iterator into a fresh slice via a collector.
+func ToSlice[T any](it Iter[T]) []T {
+	var out []T
+	if it.kind == KIdxFlat {
+		out = make([]T, 0, it.idx.N)
+	}
+	Collect(it).RunInto(&out)
+	return out
+}
+
+// OuterLen reports the extent of the outermost loop, which is the number of
+// units the parallel partitioner can split. Stepper-rooted iterators have
+// no statically known extent and report (0, false).
+func (it Iter[T]) OuterLen() (int, bool) {
+	switch it.kind {
+	case KIdxFlat:
+		return it.idx.N, true
+	case KIdxNest:
+		return it.idxN.N, true
+	case KIdxFilter:
+		return it.fidx.N, true
+	}
+	return 0, false
+}
+
+// CanSplit reports whether the iterator's outermost loop is an indexer and
+// therefore partitionable across parallel tasks.
+func (it Iter[T]) CanSplit() bool {
+	return it.kind == KIdxFlat || it.kind == KIdxNest || it.kind == KIdxFilter
+}
+
+// Split restricts the iterator to outer indices [r.Lo, r.Hi). It panics if
+// the iterator is not splittable; callers gate on CanSplit. Parallel
+// consumers give each task one split and reduce the per-task results.
+func Split[T any](it Iter[T], r domain.Range) Iter[T] {
+	switch it.kind {
+	case KIdxFlat:
+		out := IdxFlat(SliceIdx(it.idx, r.Lo, r.Hi))
+		out.hint = it.hint
+		return out
+	case KIdxNest:
+		out := IdxNest(SliceIdx(it.idxN, r.Lo, r.Hi))
+		out.hint = it.hint
+		return out
+	case KIdxFilter:
+		fx := it.fidx
+		if r.Lo < 0 || r.Hi > fx.N || r.Lo > r.Hi {
+			panic(fmt.Sprintf("iter: Split [%d,%d) of %d", r.Lo, r.Hi, fx.N))
+		}
+		out := IdxFilter(FIdx[T]{N: r.Len(), At: func(i int) (T, bool) {
+			return fx.At(r.Lo + i)
+		}})
+		out.hint = it.hint
+		return out
+	}
+	panic(fmt.Sprintf("iter: Split of non-splittable %v iterator", it.kind))
+}

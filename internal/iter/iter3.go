@@ -1,0 +1,143 @@
+package iter
+
+import (
+	"fmt"
+
+	"triolet/internal/domain"
+)
+
+// Three-dimensional iterators: the Dim3 instance of the paper's
+// domain-generalized indexer (§3.3). As with Dim2, only the flat indexer
+// constructor generalizes — variable-length traversals do not preserve
+// dimensionality — so Iter3 is an indexer plus a parallelism hint. cutcp's
+// potential grid is a Dim3 loop.
+
+// Idx3 is a three-dimensional indexer over a Dim3 domain.
+type Idx3[T any] struct {
+	Dom domain.Dim3
+	At  func(z, y, x int) T
+}
+
+// Iter3 is the three-dimensional iterator.
+type Iter3[T any] struct {
+	idx  Idx3[T]
+	hint ParHint
+}
+
+// Idx3Flat wraps a 3-D indexer as a 3-D iterator.
+func Idx3Flat[T any](ix Idx3[T]) Iter3[T] { return Iter3[T]{idx: ix} }
+
+// Dom reports the iterator's index domain.
+func (it Iter3[T]) Dom() domain.Dim3 { return it.idx.Dom }
+
+// Hint reports the iterator's parallelism hint.
+func (it Iter3[T]) Hint() ParHint { return it.hint }
+
+// At computes the element at (z, y, x).
+func (it Iter3[T]) At(z, y, x int) T { return it.idx.At(z, y, x) }
+
+// Par3 marks a 3-D iterator for distributed + thread parallelism.
+func Par3[T any](it Iter3[T]) Iter3[T] { it.hint = ClusterPar; return it }
+
+// LocalPar3 marks a 3-D iterator for thread parallelism within one node.
+func LocalPar3[T any](it Iter3[T]) Iter3[T] { it.hint = NodePar; return it }
+
+// ArrayRange3 iterates over all (z, y, x) index triples of the domain in
+// linearization order.
+func ArrayRange3(d domain.Dim3) Iter3[domain.Ix3] {
+	return Idx3Flat(Idx3[domain.Ix3]{Dom: d, At: func(z, y, x int) domain.Ix3 {
+		return domain.Ix3{Z: z, Y: y, X: x}
+	}})
+}
+
+// Map3 applies f to every element of a 3-D iterator.
+func Map3[T, U any](f func(T) U, it Iter3[T]) Iter3[U] {
+	at := it.idx.At
+	out := Idx3Flat(Idx3[U]{Dom: it.idx.Dom, At: func(z, y, x int) U { return f(at(z, y, x)) }})
+	out.hint = it.hint
+	return out
+}
+
+// ZipWith3D combines corresponding elements of two 3-D iterators over the
+// intersection of their domains.
+func ZipWith3D[A, B, C any](f func(A, B) C, a Iter3[A], b Iter3[B]) Iter3[C] {
+	atA, atB := a.idx.At, b.idx.At
+	dom := domain.Dim3{
+		D: min(a.idx.Dom.D, b.idx.Dom.D),
+		H: min(a.idx.Dom.H, b.idx.Dom.H),
+		W: min(a.idx.Dom.W, b.idx.Dom.W),
+	}
+	out := Idx3Flat(Idx3[C]{Dom: dom, At: func(z, y, x int) C {
+		return f(atA(z, y, x), atB(z, y, x))
+	}})
+	out.hint = mergeHint(a.hint, b.hint)
+	return out
+}
+
+// SliceBox restricts a 3-D iterator to the box b, re-basing indices at the
+// origin. Slab-decomposed parallel loops hand each task a SliceBox.
+func SliceBox[T any](it Iter3[T], b domain.Box) Iter3[T] {
+	d := it.idx.Dom
+	if b.Z.Lo < 0 || b.Z.Hi > d.D || b.Y.Lo < 0 || b.Y.Hi > d.H || b.X.Lo < 0 || b.X.Hi > d.W {
+		panic(fmt.Sprintf("iter: SliceBox %v outside %v", b, d))
+	}
+	at := it.idx.At
+	out := Idx3Flat(Idx3[T]{
+		Dom: domain.Dim3{D: b.Z.Len(), H: b.Y.Len(), W: b.X.Len()},
+		At:  func(z, y, x int) T { return at(b.Z.Lo+z, b.Y.Lo+y, b.X.Lo+x) },
+	})
+	out.hint = it.hint
+	return out
+}
+
+// Linearize3 flattens a 3-D iterator to a 1-D iterator in linearization
+// order, so 1-D consumers apply.
+func Linearize3[T any](it Iter3[T]) Iter[T] {
+	d := it.idx.Dom
+	at := it.idx.At
+	out := IdxFlat(Idx[T]{N: d.Size(), At: func(i int) T {
+		ix := d.Unlinear(i)
+		return at(ix.Z, ix.Y, ix.X)
+	}})
+	out.hint = it.hint
+	return out
+}
+
+// Reduce3 folds all elements in linearization order.
+func Reduce3[T, A any](it Iter3[T], z A, w func(A, T) A) A {
+	d := it.idx.Dom
+	at := it.idx.At
+	acc := z
+	for zz := 0; zz < d.D; zz++ {
+		for yy := 0; yy < d.H; yy++ {
+			for xx := 0; xx < d.W; xx++ {
+				acc = w(acc, at(zz, yy, xx))
+			}
+		}
+	}
+	return acc
+}
+
+// Build3Into evaluates the box b of the iterator into the matching region
+// of the flat grid dst (dst is it.Dom()-shaped, linearized). Disjoint
+// boxes may be evaluated concurrently.
+func Build3Into[T any](dst []T, it Iter3[T], b domain.Box) {
+	d := it.idx.Dom
+	at := it.idx.At
+	for z := b.Z.Lo; z < b.Z.Hi; z++ {
+		for y := b.Y.Lo; y < b.Y.Hi; y++ {
+			base := (z*d.H + y) * d.W
+			for x := b.X.Lo; x < b.X.Hi; x++ {
+				dst[base+x] = at(z, y, x)
+			}
+		}
+	}
+}
+
+// Build3 materializes the whole 3-D iterator into a fresh linearized grid.
+func Build3[T any](it Iter3[T]) []T {
+	d := it.idx.Dom
+	out := make([]T, d.Size())
+	Build3Into(out, it, d.Whole())
+	return out
+}

@@ -1,0 +1,149 @@
+package iter
+
+import (
+	"testing"
+	"testing/quick"
+
+	"triolet/internal/domain"
+)
+
+func TestArrayRange3AndBuild3(t *testing.T) {
+	d := domain.Dim3{D: 2, H: 3, W: 4}
+	it := Map3(func(ix domain.Ix3) int { return d.Linear(ix) }, ArrayRange3(d))
+	got := Build3(it)
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("grid[%d] = %d", i, v)
+		}
+	}
+	if it.Dom() != d {
+		t.Fatalf("dom = %v", it.Dom())
+	}
+	if it.At(1, 2, 3) != d.Size()-1 {
+		t.Fatalf("At corner = %d", it.At(1, 2, 3))
+	}
+}
+
+func TestZipWith3D(t *testing.T) {
+	a := ArrayRange3(domain.Dim3{D: 2, H: 2, W: 3})
+	b := ArrayRange3(domain.Dim3{D: 3, H: 2, W: 2})
+	z := ZipWith3D(func(p, q domain.Ix3) int { return p.X + q.X }, a, b)
+	if z.Dom() != (domain.Dim3{D: 2, H: 2, W: 2}) {
+		t.Fatalf("intersection dom = %v", z.Dom())
+	}
+	if z.At(0, 0, 1) != 2 {
+		t.Fatalf("zip at = %d", z.At(0, 0, 1))
+	}
+}
+
+func TestSliceBox(t *testing.T) {
+	d := domain.Dim3{D: 4, H: 4, W: 4}
+	it := Map3(func(ix domain.Ix3) int { return d.Linear(ix) }, ArrayRange3(d))
+	sub := SliceBox(it, domain.Box{
+		Z: domain.Range{Lo: 1, Hi: 3},
+		Y: domain.Range{Lo: 2, Hi: 4},
+		X: domain.Range{Lo: 0, Hi: 2},
+	})
+	if sub.Dom() != (domain.Dim3{D: 2, H: 2, W: 2}) {
+		t.Fatalf("slice dom = %v", sub.Dom())
+	}
+	if sub.At(0, 0, 0) != d.Linear(domain.Ix3{Z: 1, Y: 2, X: 0}) {
+		t.Fatalf("rebased At = %d", sub.At(0, 0, 0))
+	}
+}
+
+func TestSliceBoxOutsidePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	SliceBox(ArrayRange3(domain.Dim3{D: 2, H: 2, W: 2}), domain.Box{
+		Z: domain.Range{Lo: 0, Hi: 3},
+		Y: domain.Range{Lo: 0, Hi: 2},
+		X: domain.Range{Lo: 0, Hi: 2},
+	})
+}
+
+func TestLinearize3AndReduce3Agree(t *testing.T) {
+	d := domain.Dim3{D: 3, H: 2, W: 5}
+	it := Map3(func(ix domain.Ix3) int { return ix.Z*100 + ix.Y*10 + ix.X }, ArrayRange3(d))
+	viaLin := Sum(Linearize3(it))
+	viaRed := Reduce3(it, 0, func(a, v int) int { return a + v })
+	if viaLin != viaRed {
+		t.Fatalf("linearize %d != reduce3 %d", viaLin, viaRed)
+	}
+	if got := ToSlice(Linearize3(it)); got[d.Linear(domain.Ix3{Z: 2, Y: 1, X: 4})] != 214 {
+		t.Fatalf("linearize order wrong: %v", got)
+	}
+}
+
+// Property: building slab-by-slab equals building whole.
+func TestBuild3IntoSlabs(t *testing.T) {
+	prop := func(d0, h0, w0, p0 uint8) bool {
+		d := domain.Dim3{D: int(d0%6) + 1, H: int(h0%6) + 1, W: int(w0%6) + 1}
+		p := int(p0%4) + 1
+		it := Map3(func(ix domain.Ix3) int { return d.Linear(ix) * 3 }, ArrayRange3(d))
+		whole := Build3(it)
+		slabbed := make([]int, d.Size())
+		for _, b := range d.SlabPartition(p) {
+			Build3Into(slabbed, it, b)
+		}
+		for i := range whole {
+			if whole[i] != slabbed[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPar3Hints(t *testing.T) {
+	it := ArrayRange3(domain.Dim3{D: 1, H: 1, W: 1})
+	if it.Hint() != Sequential {
+		t.Fatal("default hint wrong")
+	}
+	if Par3(it).Hint() != ClusterPar || LocalPar3(it).Hint() != NodePar {
+		t.Fatal("3-D hint setters wrong")
+	}
+	if Map3(func(ix domain.Ix3) int { return 0 }, Par3(it)).Hint() != ClusterPar {
+		t.Fatal("Map3 dropped hint")
+	}
+	if Linearize3(LocalPar3(it)).Hint() != NodePar {
+		t.Fatal("Linearize3 dropped hint")
+	}
+}
+
+func TestBoxHelpers(t *testing.T) {
+	b := domain.Box{
+		Z: domain.Range{Lo: 0, Hi: 2},
+		Y: domain.Range{Lo: 1, Hi: 3},
+		X: domain.Range{Lo: 0, Hi: 1},
+	}
+	if b.Size() != 4 || b.Empty() {
+		t.Fatalf("box size = %d", b.Size())
+	}
+	if !b.Contains(domain.Ix3{Z: 1, Y: 2, X: 0}) || b.Contains(domain.Ix3{Z: 2, Y: 1, X: 0}) {
+		t.Fatal("box Contains wrong")
+	}
+	inter := b.Intersect(domain.Box{
+		Z: domain.Range{Lo: 1, Hi: 5},
+		Y: domain.Range{Lo: 0, Hi: 2},
+		X: domain.Range{Lo: 0, Hi: 9},
+	})
+	if inter.Size() != 1 {
+		t.Fatalf("intersection = %v", inter)
+	}
+	// Slabs tile the domain.
+	d := domain.Dim3{D: 7, H: 2, W: 2}
+	total := 0
+	for _, s := range d.SlabPartition(3) {
+		total += s.Size()
+	}
+	if total != d.Size() {
+		t.Fatalf("slabs cover %d of %d", total, d.Size())
+	}
+}

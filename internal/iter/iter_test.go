@@ -1,0 +1,367 @@
+package iter
+
+import (
+	"testing"
+	"testing/quick"
+
+	"triolet/internal/domain"
+)
+
+// --- constructor/kind transitions (the case analysis of paper Fig. 2) ---
+
+func TestKindTransitions(t *testing.T) {
+	flat := FromSlice([]int{1, 2, 3, 4})
+	if flat.Kind() != KIdxFlat {
+		t.Fatalf("FromSlice kind = %v", flat.Kind())
+	}
+
+	stepped := StepFlat(StepOf([]int{1, 2, 3}))
+	if stepped.Kind() != KStepFlat {
+		t.Fatalf("StepFlat kind = %v", stepped.Kind())
+	}
+
+	even := func(x int) bool { return x%2 == 0 }
+	dup := func(x int) Iter[int] { return FromSlice([]int{x, x}) }
+
+	cases := []struct {
+		name string
+		it   Iter[int]
+		want Kind
+	}{
+		{"Map preserves IdxFlat", Map(even2int, flat), KIdxFlat},
+		{"Map preserves StepFlat", Map(even2int, stepped), KStepFlat},
+		{"Filter(IdxFlat) → IdxFilter", Filter(even, flat), KIdxFilter},
+		{"Filter(StepFlat) → StepFlat", Filter(even, stepped), KStepFlat},
+		{"Filter(IdxFilter) → IdxFilter", Filter(even, Filter(even, flat)), KIdxFilter},
+		{"Filter(IdxNest) → IdxNest", Filter(even, ConcatMap(dup, flat)), KIdxNest},
+		{"ConcatMap(IdxFlat) → IdxNest", ConcatMap(dup, flat), KIdxNest},
+		{"ConcatMap(IdxFilter) → IdxNest", ConcatMap(dup, Filter(even, flat)), KIdxNest},
+		{"ConcatMap(StepFlat) → StepNest", ConcatMap(dup, stepped), KStepNest},
+		{"ConcatMap(IdxNest) → IdxNest", ConcatMap(dup, ConcatMap(dup, flat)), KIdxNest},
+		{"ConcatMap(StepNest) → StepNest", ConcatMap(dup, ConcatMap(dup, stepped)), KStepNest},
+		{"Filter(StepNest) → StepNest", Filter(even, ConcatMap(dup, stepped)), KStepNest},
+		{"Map preserves IdxFilter", Map(even2int, Filter(even, flat)), KIdxFilter},
+		{"Map preserves IdxNest", Map(even2int, ConcatMap(dup, flat)), KIdxNest},
+		{"Zip(IdxFlat,IdxFlat) → IdxFlat", Map(pairSum, Zip(flat, flat)), KIdxFlat},
+		{"Zip(IdxFlat,IdxFilter) → StepFlat", Map(pairSum, Zip(flat, Filter(even, flat))), KStepFlat},
+	}
+	for _, c := range cases {
+		if c.it.Kind() != c.want {
+			t.Errorf("%s: kind = %v, want %v", c.name, c.it.Kind(), c.want)
+		}
+	}
+}
+
+func even2int(x int) int { return x * 2 }
+
+func pairSum(p Pair[int, int]) int { return p.Fst + p.Snd }
+
+// --- the paper's running example: sum of filter fuses and parallelizes ---
+
+func TestSumOfFilter(t *testing.T) {
+	// Paper §3.2: sum(filter(λx. x > 0), [1,-2,-4,1,3,4]) = 9.
+	xs := []int{1, -2, -4, 1, 3, 4}
+	it := Filter(func(x int) bool { return x > 0 }, FromSlice(xs))
+	if it.Kind() != KIdxFilter {
+		t.Fatalf("filter over array produced %v", it.Kind())
+	}
+	if !it.CanSplit() {
+		t.Fatal("filtered iterator lost splittability")
+	}
+	if got := Sum(it); got != 9 {
+		t.Fatalf("Sum = %d, want 9", got)
+	}
+	// Split-and-combine must agree with the sequential result: the property
+	// that makes indexer-of-stepper parallelizable.
+	total := 0
+	for _, r := range domain.BlockPartition(len(xs), 3) {
+		total += Sum(Split(it, r))
+	}
+	if total != 9 {
+		t.Fatalf("split sum = %d, want 9", total)
+	}
+}
+
+// --- hints ---
+
+func TestParHints(t *testing.T) {
+	it := FromSlice([]int{1})
+	if it.Hint() != Sequential {
+		t.Fatal("default hint not Sequential")
+	}
+	if Par(it).Hint() != ClusterPar || LocalPar(it).Hint() != NodePar {
+		t.Fatal("hint setters wrong")
+	}
+	if Seq(Par(it)).Hint() != Sequential {
+		t.Fatal("Seq did not clear hint")
+	}
+	// Hints survive Map and Filter.
+	if Map(even2int, Par(it)).Hint() != ClusterPar {
+		t.Fatal("Map dropped hint")
+	}
+	if Filter(func(int) bool { return true }, LocalPar(it)).Hint() != NodePar {
+		t.Fatal("Filter dropped hint")
+	}
+	// Zip merges hints, strongest wins.
+	if Zip(Par(it), it).Hint() != ClusterPar {
+		t.Fatal("Zip dropped Par hint")
+	}
+	if Zip(LocalPar(it), Par(it)).Hint() != ClusterPar {
+		t.Fatal("Zip hint merge wrong")
+	}
+}
+
+// --- basic consumers ---
+
+func TestRangeAndRangeOf(t *testing.T) {
+	if got := ToSlice(Range(4)); !eqSlices(got, []int{0, 1, 2, 3}) {
+		t.Fatalf("Range = %v", got)
+	}
+	if got := ToSlice(RangeOf(domain.Range{Lo: 5, Hi: 8})); !eqSlices(got, []int{5, 6, 7}) {
+		t.Fatalf("RangeOf = %v", got)
+	}
+}
+
+func TestEmptySingle(t *testing.T) {
+	if Count(Empty[string]()) != 0 {
+		t.Fatal("Empty not empty")
+	}
+	if got := ToSlice(Single(9)); !eqSlices(got, []int{9}) {
+		t.Fatalf("Single = %v", got)
+	}
+}
+
+func TestCountOverNests(t *testing.T) {
+	dup := func(x int) Iter[int] { return FromSlice([]int{x, x, x}) }
+	it := ConcatMap(dup, Range(4))
+	if got := Count(it); got != 12 {
+		t.Fatalf("Count = %d", got)
+	}
+}
+
+func TestToSliceOrderAcrossKinds(t *testing.T) {
+	// Order must be deterministic and match the nesting semantics for all
+	// four constructors.
+	dup := func(x int) Iter[int] { return FromSlice([]int{x * 10, x*10 + 1}) }
+	flat := FromSlice([]int{1, 2})
+	cases := []struct {
+		name string
+		it   Iter[int]
+		want []int
+	}{
+		{"IdxFlat", flat, []int{1, 2}},
+		{"StepFlat", StepFlat(StepOf([]int{3, 4})), []int{3, 4}},
+		{"IdxNest", ConcatMap(dup, flat), []int{10, 11, 20, 21}},
+		{"StepNest", ConcatMap(dup, StepFlat(StepOf([]int{1, 2}))), []int{10, 11, 20, 21}},
+	}
+	for _, c := range cases {
+		if got := ToSlice(c.it); !eqSlices(got, c.want) {
+			t.Errorf("%s: ToSlice = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestZip3(t *testing.T) {
+	it := Zip3(FromSlice([]int{1, 2}), FromSlice([]int{10, 20, 30}), FromSlice([]int{100, 200}))
+	if it.Kind() != KIdxFlat {
+		t.Fatalf("Zip3 of flats = %v", it.Kind())
+	}
+	got := ToSlice(it)
+	if len(got) != 2 || got[1] != (Triple[int, int, int]{2, 20, 200}) {
+		t.Fatalf("Zip3 = %v", got)
+	}
+	// Mixed kinds go through the sequential path but yield the same values.
+	mixed := Zip3(Filter(func(int) bool { return true }, FromSlice([]int{1, 2})),
+		FromSlice([]int{10, 20, 30}), FromSlice([]int{100, 200}))
+	if got2 := ToSlice(mixed); len(got2) != 2 || got2[1] != got[1] {
+		t.Fatalf("mixed Zip3 = %v", got2)
+	}
+}
+
+func TestReduceNonCommutative(t *testing.T) {
+	// Left fold order must hold across nesting.
+	dup := func(x int) Iter[int] { return FromSlice([]int{x, x + 1}) }
+	it := ConcatMap(dup, FromSlice([]int{1, 3}))
+	got := Reduce(it, 0, func(a, v int) int { return a*10 + v })
+	if got != 1234 {
+		t.Fatalf("Reduce = %d, want 1234", got)
+	}
+}
+
+func TestSplitPanicsOnStepper(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Split(StepFlat(StepOf([]int{1})), domain.Range{Lo: 0, Hi: 1})
+}
+
+func TestOuterLen(t *testing.T) {
+	if n, ok := FromSlice([]int{1, 2, 3}).OuterLen(); !ok || n != 3 {
+		t.Fatalf("OuterLen flat = (%d,%v)", n, ok)
+	}
+	nested := Filter(func(int) bool { return true }, Range(7))
+	if n, ok := nested.OuterLen(); !ok || n != 7 {
+		t.Fatalf("OuterLen nested = (%d,%v)", n, ok)
+	}
+	if _, ok := StepFlat(StepOf([]int{1})).OuterLen(); ok {
+		t.Fatal("stepper reported OuterLen")
+	}
+}
+
+// --- property tests: every pipeline equals its slice-level reference ---
+
+func refFilterMapSum(xs []int16) int64 {
+	var acc int64
+	for _, x := range xs {
+		v := int64(x) * 3
+		if v%2 == 0 {
+			acc += v
+		}
+	}
+	return acc
+}
+
+func TestFusionEquivalenceSum(t *testing.T) {
+	prop := func(xs []int16) bool {
+		it := Filter(func(v int64) bool { return v%2 == 0 },
+			Map(func(x int16) int64 { return int64(x) * 3 }, FromSlice(xs)))
+		return Sum(it) == refFilterMapSum(xs)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: for splittable pipelines, sum over any block partition equals
+// the sequential sum (the invariant that justifies parallel execution).
+func TestSplitInvariance(t *testing.T) {
+	prop := func(xs []int16, p0 uint8) bool {
+		p := int(p0%8) + 1
+		it := ConcatMap(func(x int16) Iter[int64] {
+			n := int(x&3) + 1 // 1..4 copies: irregular inner loops
+			return Map(func(i int) int64 { return int64(x) + int64(i) }, Range(n))
+		}, FromSlice(xs))
+		seq := Sum(it)
+		n, ok := it.OuterLen()
+		if !ok {
+			return false
+		}
+		var par int64
+		for _, r := range domain.BlockPartition(n, p) {
+			par += Sum(Split(it, r))
+		}
+		return par == seq
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Zip of equal-length flat iterators preserves length and pairs
+// elements positionally; zipping after filtering agrees with the reference.
+func TestZipEquivalence(t *testing.T) {
+	prop := func(xs []int8) bool {
+		ys := make([]int, len(xs))
+		for i, x := range xs {
+			ys[i] = int(x) * 7
+		}
+		it := Zip(FromSlice(xs), FromSlice(ys))
+		got := ToSlice(it)
+		if len(got) != len(xs) {
+			return false
+		}
+		for i := range got {
+			if got[i].Fst != xs[i] || got[i].Snd != ys[i] {
+				return false
+			}
+		}
+		// irregular zip path
+		pos := Filter(func(x int8) bool { return x > 0 }, FromSlice(xs))
+		zipped := Zip(pos, FromSlice(ys))
+		gotIrr := ToSlice(zipped)
+		var wantFst []int8
+		for _, x := range xs {
+			if x > 0 {
+				wantFst = append(wantFst, x)
+			}
+		}
+		k := min(len(wantFst), len(ys))
+		if len(gotIrr) != k {
+			return false
+		}
+		for i := range gotIrr {
+			if gotIrr[i].Fst != wantFst[i] || gotIrr[i].Snd != ys[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: ConcatMap over any constructor yields the concatenation of the
+// expansions, in order.
+func TestConcatMapEquivalence(t *testing.T) {
+	prop := func(xs []uint8, stepRoot bool) bool {
+		vals := make([]int, len(xs))
+		for i, x := range xs {
+			vals[i] = int(x % 5)
+		}
+		var root Iter[int]
+		if stepRoot {
+			root = StepFlat(StepOf(vals))
+		} else {
+			root = FromSlice(vals)
+		}
+		it := ConcatMap(func(x int) Iter[int] { return Range(x) }, root)
+		got := ToSlice(it)
+		var want []int
+		for _, x := range vals {
+			for i := range x {
+				want = append(want, i)
+			}
+		}
+		return eqSlices(got, want)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Triple-nested pipelines: filter inside concatMap inside concatMap.
+func TestDeepNesting(t *testing.T) {
+	it := ConcatMap(func(x int) Iter[int] {
+		return Filter(func(y int) bool { return y%2 == 0 },
+			ConcatMap(func(y int) Iter[int] { return Range(y) }, Range(x)))
+	}, Range(5))
+	want := []int{
+		// x=2: inner y in Range(2): y=0→Range(0); y=1→[0] filtered even→[0]
+		0,
+		// x=3: y=0→[]; y=1→[0]; y=2→[0,1]→[0]
+		0, 0,
+		// x=4: y=1→[0]; y=2→[0]; y=3→[0,1,2]→[0,2]
+		0, 0, 0, 2,
+	}
+	if got := ToSlice(it); !eqSlices(got, want) {
+		t.Fatalf("deep nesting = %v, want %v", got, want)
+	}
+	if it.Kind() != KIdxNest {
+		t.Fatalf("deep nesting kind = %v", it.Kind())
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	if KIdxFlat.String() != "IdxFlat" || KStepNest.String() != "StepNest" {
+		t.Fatal("Kind.String wrong")
+	}
+	if Sequential.String() != "seq" || ClusterPar.String() != "par" || NodePar.String() != "localpar" {
+		t.Fatal("ParHint.String wrong")
+	}
+	if Kind(9).String() == "" || ParHint(9).String() == "" {
+		t.Fatal("out-of-range String empty")
+	}
+}

@@ -1,0 +1,320 @@
+package iter
+
+import (
+	"fmt"
+
+	"triolet/internal/domain"
+)
+
+// This file extends the skeleton inventory beyond the operations paper
+// Fig. 2 spells out, following the same discipline: each function
+// dispatches on the input constructor, output structure is determined by
+// input structure, and regular (indexer) structure is preserved wherever
+// the operation allows so parallelism is not lost.
+
+// Enumerate pairs every element with its position in the traversal. Over a
+// flat indexer the position is the index (random access preserved); other
+// shapes are numbered sequentially through a stepper, since elements of an
+// irregular loop have no statically known positions (the paper's §3.1
+// argument for why filter defeats indexers).
+func Enumerate[T any](it Iter[T]) Iter[Pair[int, T]] {
+	if it.kind == KIdxFlat {
+		ix := it.idx
+		out := IdxFlat(Idx[Pair[int, T]]{N: ix.N, At: func(i int) Pair[int, T] {
+			return Pair[int, T]{Fst: i, Snd: ix.At(i)}
+		}})
+		out.hint = it.hint
+		return out
+	}
+	src := ToStep(it)
+	out := StepFlat(Step[Pair[int, T]]{Gen: func() Cursor[Pair[int, T]] {
+		cur := src.Gen()
+		n := 0
+		return func() (Pair[int, T], bool) {
+			v, ok := cur()
+			if !ok {
+				return Pair[int, T]{}, false
+			}
+			p := Pair[int, T]{Fst: n, Snd: v}
+			n++
+			return p, true
+		}
+	}})
+	out.hint = it.hint
+	return out
+}
+
+// Take yields at most n elements. A flat indexer stays a flat indexer
+// (it is just a prefix slice); everything else goes through a stepper.
+func Take[T any](n int, it Iter[T]) Iter[T] {
+	if n < 0 {
+		panic(fmt.Sprintf("iter: Take(%d)", n))
+	}
+	if it.kind == KIdxFlat {
+		out := IdxFlat(SliceIdx(it.idx, 0, min(n, it.idx.N)))
+		out.hint = it.hint
+		return out
+	}
+	out := StepFlat(TakeStep(n, ToStep(it)))
+	out.hint = it.hint
+	return out
+}
+
+// Drop skips the first n elements. A flat indexer stays a flat indexer.
+func Drop[T any](n int, it Iter[T]) Iter[T] {
+	if n < 0 {
+		panic(fmt.Sprintf("iter: Drop(%d)", n))
+	}
+	if it.kind == KIdxFlat {
+		out := IdxFlat(SliceIdx(it.idx, min(n, it.idx.N), it.idx.N))
+		out.hint = it.hint
+		return out
+	}
+	src := ToStep(it)
+	out := StepFlat(Step[T]{Gen: func() Cursor[T] {
+		cur := src.Gen()
+		for range n {
+			if _, ok := cur(); !ok {
+				break
+			}
+		}
+		return cur
+	}})
+	out.hint = it.hint
+	return out
+}
+
+// Chain concatenates two iterators. Two flat indexers chain into an
+// indexer (random access is preserved by index arithmetic); any other
+// combination becomes a two-element nest, preserving each side's inner
+// structure.
+func Chain[T any](a, b Iter[T]) Iter[T] {
+	hint := mergeHint(a.hint, b.hint)
+	if a.kind == KIdxFlat && b.kind == KIdxFlat {
+		ia, ib := a.idx, b.idx
+		out := IdxFlat(Idx[T]{N: ia.N + ib.N, At: func(i int) T {
+			if i < ia.N {
+				return ia.At(i)
+			}
+			return ib.At(i - ia.N)
+		}})
+		out.hint = hint
+		return out
+	}
+	parts := [2]Iter[T]{a, b}
+	out := IdxNest(Idx[Iter[T]]{N: 2, At: func(i int) Iter[T] { return parts[i] }})
+	out.hint = hint
+	return out
+}
+
+// Scan yields the running left-fold of the iterator: for input x0, x1, …
+// it yields w(z,x0), w(w(z,x0),x1), … — inherently sequential (each output
+// depends on all earlier inputs), so the result is always a stepper. This
+// is the fusible sequential scan; the *parallel* multi-pass scan the paper
+// contrasts against lives in core.PackLocal.
+func Scan[T, A any](it Iter[T], z A, w func(A, T) A) Iter[A] {
+	src := ToStep(it)
+	out := StepFlat(Step[A]{Gen: func() Cursor[A] {
+		cur := src.Gen()
+		acc := z
+		return func() (A, bool) {
+			v, ok := cur()
+			if !ok {
+				var zero A
+				return zero, false
+			}
+			acc = w(acc, v)
+			return acc, true
+		}
+	}})
+	out.hint = it.hint
+	return out
+}
+
+// Any reports whether pred holds for some element, stopping at the first
+// hit (early termination through the fold encoding).
+func Any[T any](pred func(T) bool, it Iter[T]) bool {
+	found := false
+	fold := toFold(it)
+	fold(func(v T) bool {
+		if pred(v) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// All reports whether pred holds for every element, stopping at the first
+// counterexample.
+func All[T any](pred func(T) bool, it Iter[T]) bool {
+	return !Any(func(v T) bool { return !pred(v) }, it)
+}
+
+// Find returns the first element satisfying pred.
+func Find[T any](pred func(T) bool, it Iter[T]) (T, bool) {
+	var out T
+	found := false
+	toFold(it)(func(v T) bool {
+		if pred(v) {
+			out = v
+			found = true
+			return false
+		}
+		return true
+	})
+	return out, found
+}
+
+// toFold converts any iterator to the push-based encoding with early
+// termination, consuming each nesting level as one loop.
+func toFold[T any](it Iter[T]) Fold[T] {
+	switch it.kind {
+	case KIdxFlat:
+		return IdxToFold(it.idx)
+	case KIdxFilter:
+		fx := it.fidx
+		return func(yield func(T) bool) {
+			for i := 0; i < fx.N; i++ {
+				if v, ok := fx.At(i); ok && !yield(v) {
+					return
+				}
+			}
+		}
+	case KStepFlat:
+		return StepToFold(it.step)
+	case KIdxNest:
+		inner := it.idxN
+		return func(yield func(T) bool) {
+			for i := 0; i < inner.N; i++ {
+				stopped := false
+				toFold(inner.At(i))(func(v T) bool {
+					if !yield(v) {
+						stopped = true
+						return false
+					}
+					return true
+				})
+				if stopped {
+					return
+				}
+			}
+		}
+	case KStepNest:
+		inner := it.stepN
+		return func(yield func(T) bool) {
+			cur := inner.Gen()
+			for {
+				sub, ok := cur()
+				if !ok {
+					return
+				}
+				stopped := false
+				toFold(sub)(func(v T) bool {
+					if !yield(v) {
+						stopped = true
+						return false
+					}
+					return true
+				})
+				if stopped {
+					return
+				}
+			}
+		}
+	}
+	panic("iter: bad kind")
+}
+
+// MaxBy returns the element with the greatest key, or ok=false for an
+// empty iterator. Ties keep the earliest element.
+func MaxBy[T any, K Number](key func(T) K, it Iter[T]) (T, bool) {
+	type acc struct {
+		v  T
+		k  K
+		ok bool
+	}
+	r := Reduce(it, acc{}, func(a acc, v T) acc {
+		k := key(v)
+		if !a.ok || k > a.k {
+			return acc{v: v, k: k, ok: true}
+		}
+		return a
+	})
+	return r.v, r.ok
+}
+
+// MinBy returns the element with the least key, or ok=false for an empty
+// iterator. Ties keep the earliest element.
+func MinBy[T any, K Number](key func(T) K, it Iter[T]) (T, bool) {
+	type acc struct {
+		v  T
+		k  K
+		ok bool
+	}
+	r := Reduce(it, acc{}, func(a acc, v T) acc {
+		k := key(v)
+		if !a.ok || k < a.k {
+			return acc{v: v, k: k, ok: true}
+		}
+		return a
+	})
+	return r.v, r.ok
+}
+
+// GroupReduce folds every element into a per-key accumulator — the
+// reduce-by-key skeleton. It is a collector-based consumer (mutation of
+// the map), so it handles any input structure including irregular nests.
+func GroupReduce[T any, K comparable, A any](it Iter[T], key func(T) K, z func() A, w func(A, T) A) map[K]A {
+	out := make(map[K]A)
+	Collect(it)(func(v T) {
+		k := key(v)
+		a, ok := out[k]
+		if !ok {
+			a = z()
+		}
+		out[k] = w(a, v)
+	})
+	return out
+}
+
+// Chunks regroups a flat indexer into consecutive blocks of at most size
+// elements, each block itself a flat (splittable) iterator — the shape
+// Eden's chunked-vector style distributes (paper §4.2).
+func Chunks[T any](size int, it Iter[T]) Iter[Iter[T]] {
+	if size <= 0 {
+		panic(fmt.Sprintf("iter: Chunks(%d)", size))
+	}
+	if it.kind != KIdxFlat {
+		panic("iter: Chunks requires a flat indexer")
+	}
+	ix := it.idx
+	ranges := domain.ChunkPartition(ix.N, size)
+	return IdxFlat(Idx[Iter[T]]{N: len(ranges), At: func(i int) Iter[T] {
+		r := ranges[i]
+		return IdxFlat(SliceIdx(ix, r.Lo, r.Hi))
+	}})
+}
+
+// Flatten collapses an iterator of iterators by one level — ConcatMap with
+// the identity expansion.
+func Flatten[T any](it Iter[Iter[T]]) Iter[T] {
+	return ConcatMap(func(inner Iter[T]) Iter[T] { return inner }, it)
+}
+
+// Mean returns the arithmetic mean of a float64 iterator and the element
+// count (mean is 0 for an empty iterator).
+func Mean(it Iter[float64]) (float64, int) {
+	type acc struct {
+		sum float64
+		n   int
+	}
+	r := Reduce(it, acc{}, func(a acc, v float64) acc {
+		return acc{sum: a.sum + v, n: a.n + 1}
+	})
+	if r.n == 0 {
+		return 0, 0
+	}
+	return r.sum / float64(r.n), r.n
+}

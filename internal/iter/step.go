@@ -1,0 +1,204 @@
+package iter
+
+// Cursor yields successive elements of a traversal. The second result is
+// false when the traversal is exhausted (and stays false thereafter).
+type Cursor[T any] func() (T, bool)
+
+// Step is the stepper encoding (paper §3.1 "Steppers"): a restartable
+// coroutine. Gen returns a fresh cursor positioned at the first element, so
+// a Step can be traversed multiple times, matching the value semantics of
+// the paper's suspended-loop-state encoding. Steppers support filtering and
+// variable-length output but cannot be split across parallel tasks.
+type Step[T any] struct {
+	Gen func() Cursor[T]
+}
+
+// EmptyStep is the stepper with no elements.
+func EmptyStep[T any]() Step[T] {
+	return Step[T]{Gen: func() Cursor[T] {
+		return func() (T, bool) {
+			var zero T
+			return zero, false
+		}
+	}}
+}
+
+// UnitStep is the stepper yielding exactly one element (paper Fig. 2's
+// unitStep, used to lift each element of an indexer into a one-element
+// inner loop when filtering).
+func UnitStep[T any](v T) Step[T] {
+	return Step[T]{Gen: func() Cursor[T] {
+		done := false
+		return func() (T, bool) {
+			if done {
+				var zero T
+				return zero, false
+			}
+			done = true
+			return v, true
+		}
+	}}
+}
+
+// StepOf yields the elements of a slice in order without copying.
+func StepOf[T any](xs []T) Step[T] {
+	return IdxToStep(IdxOf(xs))
+}
+
+// MapStep applies f to each element the stepper yields. The returned
+// stepper's cursor performs s's step followed immediately by f — the fused
+// loop body.
+func MapStep[T, U any](f func(T) U, s Step[T]) Step[U] {
+	return Step[U]{Gen: func() Cursor[U] {
+		cur := s.Gen()
+		return func() (U, bool) {
+			v, ok := cur()
+			if !ok {
+				var zero U
+				return zero, false
+			}
+			return f(v), true
+		}
+	}}
+}
+
+// FilterStep keeps only elements satisfying pred (paper Fig. 2's
+// filterStep). Each call to the cursor advances the underlying cursor past
+// rejected elements, so filtering fuses with the producer.
+func FilterStep[T any](pred func(T) bool, s Step[T]) Step[T] {
+	return Step[T]{Gen: func() Cursor[T] {
+		cur := s.Gen()
+		return func() (T, bool) {
+			for {
+				v, ok := cur()
+				if !ok {
+					var zero T
+					return zero, false
+				}
+				if pred(v) {
+					return v, true
+				}
+			}
+		}
+	}}
+}
+
+// ZipStep pairs corresponding elements of two steppers, stopping at the
+// shorter. Variable-length iterators are zipped sequentially this way
+// (paper §3.2).
+func ZipStep[A, B any](a Step[A], b Step[B]) Step[Pair[A, B]] {
+	return Step[Pair[A, B]]{Gen: func() Cursor[Pair[A, B]] {
+		ca, cb := a.Gen(), b.Gen()
+		return func() (Pair[A, B], bool) {
+			x, okA := ca()
+			if !okA {
+				return Pair[A, B]{}, false
+			}
+			y, okB := cb()
+			if !okB {
+				return Pair[A, B]{}, false
+			}
+			return Pair[A, B]{Fst: x, Snd: y}, true
+		}
+	}}
+}
+
+// ConcatMapStep expands each element into a sub-stepper and yields the
+// concatenation (paper Fig. 2's concatMapStep). This is the stepper form of
+// nested traversal; the paper notes it is reliably fusible but a constant
+// factor slower than a loop nest, which is why the hybrid Iter prefers
+// indexer-of-stepper nesting.
+func ConcatMapStep[T, U any](f func(T) Step[U], s Step[T]) Step[U] {
+	return Step[U]{Gen: func() Cursor[U] {
+		outer := s.Gen()
+		var inner Cursor[U]
+		return func() (U, bool) {
+			for {
+				if inner != nil {
+					if v, ok := inner(); ok {
+						return v, true
+					}
+					inner = nil
+				}
+				o, ok := outer()
+				if !ok {
+					var zero U
+					return zero, false
+				}
+				inner = f(o).Gen()
+			}
+		}
+	}}
+}
+
+// TakeStep yields at most n elements of s.
+func TakeStep[T any](n int, s Step[T]) Step[T] {
+	return Step[T]{Gen: func() Cursor[T] {
+		cur := s.Gen()
+		remaining := n
+		return func() (T, bool) {
+			if remaining <= 0 {
+				var zero T
+				return zero, false
+			}
+			remaining--
+			return cur()
+		}
+	}}
+}
+
+// FoldStep reduces the stepper left-to-right with worker w from z.
+func FoldStep[T, A any](s Step[T], z A, w func(A, T) A) A {
+	acc := z
+	cur := s.Gen()
+	for {
+		v, ok := cur()
+		if !ok {
+			return acc
+		}
+		acc = w(acc, v)
+	}
+}
+
+// StepToFold converts a stepper to the push-based fold encoding.
+func StepToFold[T any](s Step[T]) Fold[T] {
+	return func(yield func(T) bool) {
+		cur := s.Gen()
+		for {
+			v, ok := cur()
+			if !ok {
+				return
+			}
+			if !yield(v) {
+				return
+			}
+		}
+	}
+}
+
+// StepToColl converts a stepper to a collector that pushes every element to
+// the side-effecting worker (paper §3.1's stepToColl).
+func StepToColl[T any](s Step[T]) Collector[T] {
+	return func(w func(T)) {
+		cur := s.Gen()
+		for {
+			v, ok := cur()
+			if !ok {
+				return
+			}
+			w(v)
+		}
+	}
+}
+
+// CountStep returns the number of elements the stepper yields.
+func CountStep[T any](s Step[T]) int {
+	n := 0
+	cur := s.Gen()
+	for {
+		if _, ok := cur(); !ok {
+			return n
+		}
+		n++
+	}
+}

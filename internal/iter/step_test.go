@@ -1,0 +1,174 @@
+package iter
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func drain[T any](s Step[T]) []T {
+	var out []T
+	cur := s.Gen()
+	for {
+		v, ok := cur()
+		if !ok {
+			return out
+		}
+		out = append(out, v)
+	}
+}
+
+func eqSlices[T comparable](a, b []T) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestEmptyStep(t *testing.T) {
+	if got := drain(EmptyStep[int]()); len(got) != 0 {
+		t.Fatalf("EmptyStep yielded %v", got)
+	}
+}
+
+func TestUnitStep(t *testing.T) {
+	if got := drain(UnitStep(42)); !eqSlices(got, []int{42}) {
+		t.Fatalf("UnitStep yielded %v", got)
+	}
+	// restartable
+	s := UnitStep("x")
+	if CountStep(s) != 1 || CountStep(s) != 1 {
+		t.Fatal("UnitStep not restartable")
+	}
+}
+
+func TestStepOf(t *testing.T) {
+	if got := drain(StepOf([]int{1, 2, 3})); !eqSlices(got, []int{1, 2, 3}) {
+		t.Fatalf("StepOf = %v", got)
+	}
+}
+
+func TestMapStep(t *testing.T) {
+	got := drain(MapStep(func(x int) int { return x * x }, StepOf([]int{1, 2, 3})))
+	if !eqSlices(got, []int{1, 4, 9}) {
+		t.Fatalf("MapStep = %v", got)
+	}
+}
+
+func TestFilterStep(t *testing.T) {
+	even := func(x int) bool { return x%2 == 0 }
+	got := drain(FilterStep(even, StepOf([]int{1, 2, 3, 4, 5, 6})))
+	if !eqSlices(got, []int{2, 4, 6}) {
+		t.Fatalf("FilterStep = %v", got)
+	}
+	// all rejected
+	if got := drain(FilterStep(func(int) bool { return false }, StepOf([]int{1, 2}))); len(got) != 0 {
+		t.Fatalf("reject-all = %v", got)
+	}
+}
+
+func TestZipStepShorter(t *testing.T) {
+	got := drain(ZipStep(StepOf([]int{1, 2, 3}), StepOf([]string{"a", "b"})))
+	if len(got) != 2 || got[1].Fst != 2 || got[1].Snd != "b" {
+		t.Fatalf("ZipStep = %v", got)
+	}
+}
+
+func TestConcatMapStep(t *testing.T) {
+	// Expand each x into x copies of x: [1,2,3] → [1,2,2,3,3,3].
+	rep := func(x int) Step[int] {
+		return IdxToStep(Idx[int]{N: x, At: func(int) int { return x }})
+	}
+	got := drain(ConcatMapStep(rep, StepOf([]int{1, 2, 3})))
+	if !eqSlices(got, []int{1, 2, 2, 3, 3, 3}) {
+		t.Fatalf("ConcatMapStep = %v", got)
+	}
+}
+
+func TestConcatMapStepEmptyInners(t *testing.T) {
+	got := drain(ConcatMapStep(func(int) Step[int] { return EmptyStep[int]() }, StepOf([]int{1, 2, 3})))
+	if len(got) != 0 {
+		t.Fatalf("empty inners = %v", got)
+	}
+}
+
+func TestTakeStep(t *testing.T) {
+	got := drain(TakeStep(2, StepOf([]int{5, 6, 7})))
+	if !eqSlices(got, []int{5, 6}) {
+		t.Fatalf("TakeStep = %v", got)
+	}
+	if got := drain(TakeStep(0, StepOf([]int{5}))); len(got) != 0 {
+		t.Fatalf("TakeStep(0) = %v", got)
+	}
+	if got := drain(TakeStep(9, StepOf([]int{5}))); !eqSlices(got, []int{5}) {
+		t.Fatalf("TakeStep(9) = %v", got)
+	}
+}
+
+func TestFoldStep(t *testing.T) {
+	got := FoldStep(StepOf([]int{1, 2, 3}), 0, func(a, v int) int { return a*10 + v })
+	if got != 123 {
+		t.Fatalf("FoldStep = %d", got)
+	}
+}
+
+func TestStepToFoldEarlyStop(t *testing.T) {
+	calls := 0
+	StepToFold(StepOf([]int{1, 2, 3, 4}))(func(v int) bool {
+		calls++
+		return v != 2
+	})
+	if calls != 2 {
+		t.Fatalf("early stop made %d calls", calls)
+	}
+}
+
+func TestStepToColl(t *testing.T) {
+	sum := 0
+	StepToColl(StepOf([]int{1, 2, 3}))(func(v int) { sum += v })
+	if sum != 6 {
+		t.Fatalf("StepToColl sum = %d", sum)
+	}
+}
+
+// Property: MapStep then FilterStep equals the slice-level reference.
+func TestStepPipelineAgainstReference(t *testing.T) {
+	prop := func(xs []int16) bool {
+		f := func(x int16) int16 { return x / 3 }
+		p := func(x int16) bool { return x%2 == 0 }
+		got := drain(FilterStep(p, MapStep(f, StepOf(xs))))
+		var want []int16
+		for _, x := range xs {
+			if v := f(x); p(v) {
+				want = append(want, v)
+			}
+		}
+		return eqSlices(got, want)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: ConcatMapStep's output length is the sum of inner lengths.
+func TestConcatMapStepLength(t *testing.T) {
+	prop := func(ns []uint8) bool {
+		xs := make([]int, len(ns))
+		want := 0
+		for i, n := range ns {
+			xs[i] = int(n % 10)
+			want += xs[i]
+		}
+		rep := func(x int) Step[int] {
+			return IdxToStep(Idx[int]{N: x, At: func(int) int { return x }})
+		}
+		return CountStep(ConcatMapStep(rep, StepOf(xs))) == want
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,223 @@
+// Package mpi layers MPI-style collectives over the transport fabric: the
+// distributed communication layer of the virtual cluster (the paper's
+// runtime uses OpenMPI, §4). Point-to-point operations are thin wrappers;
+// collectives (Barrier, Bcast, Scatter, Gather, Reduce, Allreduce) use
+// binomial trees, so their message counts scale as they would on a real
+// cluster and the metered traffic feeding the performance model is honest.
+//
+// SPMD discipline: every rank must call the same sequence of collectives.
+// A per-communicator sequence number keyed into the message tag keeps
+// concurrent collectives from interfering, and mismatched sequences fail
+// loudly rather than deadlock silently.
+package mpi
+
+import (
+	"fmt"
+
+	"triolet/internal/transport"
+)
+
+// Tag bases: user point-to-point tags must stay below tagCollective.
+const (
+	tagCollective = 1 << 20
+	// MaxUserTag is the largest tag usable with Send/Recv.
+	MaxUserTag = tagCollective - 1
+)
+
+// Comm binds one rank to a fabric and carries collective sequencing state.
+// A Comm is owned by a single goroutine (the node's control loop), like an
+// MPI communicator handle is owned by a process.
+type Comm struct {
+	ep  *transport.Endpoint
+	seq int
+}
+
+// NewComm returns rank's communicator over f.
+func NewComm(f *transport.Fabric, rank int) *Comm {
+	return &Comm{ep: f.Endpoint(rank)}
+}
+
+// Rank reports this communicator's rank.
+func (c *Comm) Rank() int { return c.ep.Rank() }
+
+// Size reports the number of ranks.
+func (c *Comm) Size() int { return c.ep.Ranks() }
+
+// Send delivers payload to dst with a user tag.
+func (c *Comm) Send(dst, tag int, payload []byte) error {
+	if tag < 0 || tag > MaxUserTag {
+		return fmt.Errorf("mpi: user tag %d out of range", tag)
+	}
+	return c.ep.Send(dst, tag, payload)
+}
+
+// Recv blocks for a message matching (src, tag); src may be
+// transport.AnySource.
+func (c *Comm) Recv(src, tag int) (transport.Message, error) {
+	if tag != transport.AnyTag && (tag < 0 || tag > MaxUserTag) {
+		return transport.Message{}, fmt.Errorf("mpi: user tag %d out of range", tag)
+	}
+	return c.ep.Recv(src, tag)
+}
+
+// nextTag issues the collective-reserved tag for the next collective call.
+func (c *Comm) nextTag() int {
+	c.seq++
+	return tagCollective + c.seq
+}
+
+// Barrier blocks until every rank has entered the barrier: a binomial-tree
+// gather to rank 0 followed by a tree broadcast of the release.
+func (c *Comm) Barrier() error {
+	tag := c.nextTag()
+	if err := c.treeGatherSignal(tag); err != nil {
+		return fmt.Errorf("mpi: barrier gather: %w", err)
+	}
+	if _, err := c.treeBcast(tag, nil); err != nil {
+		return fmt.Errorf("mpi: barrier release: %w", err)
+	}
+	return nil
+}
+
+// treeGatherSignal collapses an empty token up the binomial tree to rank 0.
+func (c *Comm) treeGatherSignal(tag int) error {
+	rank, size := c.Rank(), c.Size()
+	for dist := 1; dist < size; dist <<= 1 {
+		if rank&dist != 0 {
+			return c.ep.Send(rank-dist, tag, nil)
+		}
+		peer := rank + dist
+		if peer < size {
+			if _, err := c.ep.Recv(peer, tag); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// treeBcast pushes data down the binomial tree from rank 0. Non-root ranks
+// ignore their data argument and return the received payload. A rank's
+// parent is rank minus its lowest set bit; after receiving it forwards to
+// rank+mask for each mask below that bit — the classic binomial broadcast.
+func (c *Comm) treeBcast(tag int, data []byte) ([]byte, error) {
+	rank, size := c.Rank(), c.Size()
+	mask := 1
+	for mask < size {
+		if rank&mask != 0 {
+			m, err := c.ep.Recv(rank-mask, tag)
+			if err != nil {
+				return nil, err
+			}
+			data = m.Payload
+			break
+		}
+		mask <<= 1
+	}
+	for mask >>= 1; mask > 0; mask >>= 1 {
+		if peer := rank + mask; peer < size {
+			if err := c.ep.Send(peer, tag, data); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return data, nil
+}
+
+// Bcast distributes root's payload to every rank and returns it. Non-root
+// ranks pass nil.
+func (c *Comm) Bcast(root int, data []byte) ([]byte, error) {
+	tag := c.nextTag()
+	if root != 0 {
+		// Rotate so the tree is rooted at 0 logically: root forwards to 0
+		// first. Simple and rare; the benchmarks root at 0.
+		if c.Rank() == root {
+			if err := c.ep.Send(0, tag, data); err != nil {
+				return nil, err
+			}
+		}
+		if c.Rank() == 0 {
+			m, err := c.ep.Recv(root, tag)
+			if err != nil {
+				return nil, err
+			}
+			data = m.Payload
+		}
+	}
+	return c.treeBcast(c.nextTag(), data)
+}
+
+// Scatter sends parts[i] to rank i and returns this rank's part. Only root
+// examines parts; it must supply exactly Size() parts. Implemented with
+// direct sends from root — the paper's runtime likewise sends each node its
+// slice directly (§3.5).
+func (c *Comm) Scatter(root int, parts [][]byte) ([]byte, error) {
+	tag := c.nextTag()
+	if c.Rank() == root {
+		if len(parts) != c.Size() {
+			return nil, fmt.Errorf("mpi: scatter with %d parts for %d ranks", len(parts), c.Size())
+		}
+		for dst, p := range parts {
+			if dst == root {
+				continue
+			}
+			if err := c.ep.Send(dst, tag, p); err != nil {
+				return nil, err
+			}
+		}
+		return parts[root], nil
+	}
+	m, err := c.ep.Recv(root, tag)
+	if err != nil {
+		return nil, err
+	}
+	return m.Payload, nil
+}
+
+// Gather collects every rank's payload at root; the returned slice is
+// indexed by rank at root and nil elsewhere.
+func (c *Comm) Gather(root int, mine []byte) ([][]byte, error) {
+	tag := c.nextTag()
+	if c.Rank() != root {
+		return nil, c.ep.Send(root, tag, mine)
+	}
+	out := make([][]byte, c.Size())
+	out[root] = mine
+	for i := 0; i < c.Size()-1; i++ {
+		m, err := c.ep.Recv(transport.AnySource, tag)
+		if err != nil {
+			return nil, err
+		}
+		out[m.Src] = m.Payload
+	}
+	return out, nil
+}
+
+// ReduceBytes folds every rank's payload into one value at rank 0 using a
+// binomial tree; combine must be associative. Returns (result, true) at
+// rank 0 and (nil, false) elsewhere.
+func (c *Comm) ReduceBytes(mine []byte, combine func(a, b []byte) ([]byte, error)) ([]byte, bool, error) {
+	tag := c.nextTag()
+	rank, size := c.Rank(), c.Size()
+	acc := mine
+	for dist := 1; dist < size; dist <<= 1 {
+		if rank&dist != 0 {
+			if err := c.ep.Send(rank-dist, tag, acc); err != nil {
+				return nil, false, err
+			}
+			return nil, false, nil
+		}
+		peer := rank + dist
+		if peer < size {
+			m, err := c.ep.Recv(peer, tag)
+			if err != nil {
+				return nil, false, err
+			}
+			acc, err = combine(acc, m.Payload)
+			if err != nil {
+				return nil, false, err
+			}
+		}
+	}
+	return acc, rank == 0, nil
+}

@@ -1,0 +1,127 @@
+package mpi
+
+import (
+	"testing"
+	"time"
+
+	"triolet/internal/transport"
+)
+
+func TestIsendIrecvBasic(t *testing.T) {
+	err := Run(transport.Config{Ranks: 2}, func(c *Comm) error {
+		if c.Rank() == 0 {
+			req := c.Isend(1, 7, []byte("nb"))
+			if !req.Test() {
+				t.Error("Isend not immediately complete against buffered fabric")
+			}
+			_, err := req.Wait()
+			return err
+		}
+		req := c.Irecv(0, 7)
+		msg, err := req.Wait()
+		if err != nil {
+			return err
+		}
+		if string(msg.Payload) != "nb" || msg.Src != 0 {
+			t.Errorf("msg = %+v", msg)
+		}
+		if !req.Test() {
+			t.Error("Test false after Wait")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIrecvBeforeSend(t *testing.T) {
+	// Posting the receive first must not lose the message.
+	err := Run(transport.Config{Ranks: 2}, func(c *Comm) error {
+		if c.Rank() == 1 {
+			req := c.Irecv(0, 9)
+			if req.Test() {
+				t.Error("Irecv complete before any send")
+			}
+			msg, err := req.Wait()
+			if err != nil {
+				return err
+			}
+			if string(msg.Payload) != "late" {
+				t.Errorf("payload = %q", msg.Payload)
+			}
+			return nil
+		}
+		time.Sleep(5 * time.Millisecond)
+		return c.Send(1, 9, []byte("late"))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScatterGatherWithNonblocking(t *testing.T) {
+	// The paper's fastest mri-q pattern: root posts sends to all workers
+	// and receives from all workers, overlapping with its own compute.
+	const ranks = 5
+	err := Run(transport.Config{Ranks: ranks}, func(c *Comm) error {
+		if c.Rank() == 0 {
+			var reqs []*Request
+			for dst := 1; dst < ranks; dst++ {
+				reqs = append(reqs, c.Isend(dst, 1, []byte{byte(dst)}))
+			}
+			recvs := make([]*Request, 0, ranks-1)
+			for src := 1; src < ranks; src++ {
+				recvs = append(recvs, c.Irecv(src, 2))
+			}
+			// "Local compute" happens here, overlapped.
+			if err := WaitAll(reqs); err != nil {
+				return err
+			}
+			for i, r := range recvs {
+				msg, err := r.Wait()
+				if err != nil {
+					return err
+				}
+				if msg.Payload[0] != byte((i+1)*2) {
+					t.Errorf("from rank %d: %d", i+1, msg.Payload[0])
+				}
+			}
+			return nil
+		}
+		msg, err := c.Recv(0, 1)
+		if err != nil {
+			return err
+		}
+		return c.Send(0, 2, []byte{msg.Payload[0] * 2})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWaitAllNilRequest(t *testing.T) {
+	if err := WaitAll([]*Request{nil}); err == nil {
+		t.Fatal("nil request not reported")
+	}
+}
+
+func TestWaitAllPropagatesError(t *testing.T) {
+	f := transport.New(transport.Config{Ranks: 1})
+	c := NewComm(f, 0)
+	req := c.Irecv(0, 1)
+	f.Close()
+	if err := WaitAll([]*Request{req}); err == nil {
+		t.Fatal("closed-fabric receive did not error")
+	}
+}
+
+func TestIsendTagValidation(t *testing.T) {
+	f := transport.New(transport.Config{Ranks: 1})
+	defer f.Close()
+	c := NewComm(f, 0)
+	req := c.Isend(0, MaxUserTag+1, nil)
+	if _, err := req.Wait(); err == nil {
+		t.Fatal("oversized tag accepted")
+	}
+}

@@ -1,0 +1,129 @@
+package mpi
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"triolet/internal/serial"
+	"triolet/internal/transport"
+)
+
+// BcastT broadcasts a typed value from root to all ranks.
+func BcastT[T any](c *Comm, root int, codec serial.Codec[T], v T) (T, error) {
+	var payload []byte
+	if c.Rank() == root {
+		payload = serial.Marshal(codec, v)
+	}
+	out, err := c.Bcast(root, payload)
+	if err != nil {
+		var zero T
+		return zero, err
+	}
+	return serial.Unmarshal(codec, out)
+}
+
+// ScatterT sends parts[i] to rank i (typed); only root supplies parts.
+func ScatterT[T any](c *Comm, root int, codec serial.Codec[T], parts []T) (T, error) {
+	var raw [][]byte
+	if c.Rank() == root {
+		if len(parts) != c.Size() {
+			var zero T
+			return zero, fmt.Errorf("mpi: scatter with %d parts for %d ranks", len(parts), c.Size())
+		}
+		raw = make([][]byte, len(parts))
+		for i, p := range parts {
+			raw[i] = serial.Marshal(codec, p)
+		}
+	}
+	mine, err := c.Scatter(root, raw)
+	if err != nil {
+		var zero T
+		return zero, err
+	}
+	return serial.Unmarshal(codec, mine)
+}
+
+// GatherT collects a typed value from every rank at root; the result is
+// indexed by rank at root and nil elsewhere.
+func GatherT[T any](c *Comm, root int, codec serial.Codec[T], mine T) ([]T, error) {
+	raw, err := c.Gather(root, serial.Marshal(codec, mine))
+	if err != nil {
+		return nil, err
+	}
+	if c.Rank() != root {
+		return nil, nil
+	}
+	out := make([]T, len(raw))
+	for i, b := range raw {
+		out[i], err = serial.Unmarshal(codec, b)
+		if err != nil {
+			return nil, fmt.Errorf("mpi: gather decode rank %d: %w", i, err)
+		}
+	}
+	return out, nil
+}
+
+// ReduceT folds every rank's typed value to rank 0 with the associative
+// operator op. ok is true only at rank 0.
+func ReduceT[T any](c *Comm, codec serial.Codec[T], mine T, op func(T, T) T) (T, bool, error) {
+	combine := func(a, b []byte) ([]byte, error) {
+		av, err := serial.Unmarshal(codec, a)
+		if err != nil {
+			return nil, err
+		}
+		bv, err := serial.Unmarshal(codec, b)
+		if err != nil {
+			return nil, err
+		}
+		return serial.Marshal(codec, op(av, bv)), nil
+	}
+	out, ok, err := c.ReduceBytes(serial.Marshal(codec, mine), combine)
+	if err != nil || !ok {
+		var zero T
+		return zero, false, err
+	}
+	v, err := serial.Unmarshal(codec, out)
+	return v, err == nil, err
+}
+
+// AllreduceT is ReduceT followed by a broadcast of the result, so every
+// rank returns the reduction.
+func AllreduceT[T any](c *Comm, codec serial.Codec[T], mine T, op func(T, T) T) (T, error) {
+	v, ok, err := ReduceT(c, codec, mine, op)
+	if err != nil {
+		var zero T
+		return zero, err
+	}
+	if !ok {
+		var zero T
+		v = zero
+	}
+	return BcastT(c, 0, codec, v)
+}
+
+// Run launches fn on every rank of a fresh fabric, one goroutine per rank
+// (the SPMD entry point used by tests and the cluster runtime). It waits
+// for all ranks and returns the joined errors. The fabric is closed on
+// return, unblocking any stragglers.
+func Run(cfg transport.Config, fn func(*Comm) error) error {
+	f := transport.New(cfg)
+	defer f.Close()
+	errs := make([]error, cfg.Ranks)
+	var wg sync.WaitGroup
+	for r := range cfg.Ranks {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					errs[r] = fmt.Errorf("mpi: rank %d panicked: %v", r, p)
+					f.Close() // unblock peers waiting on this rank
+				}
+			}()
+			errs[r] = fn(NewComm(f, r))
+		}()
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}

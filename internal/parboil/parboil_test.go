@@ -1,0 +1,60 @@
+package parboil
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNewRandDeterministic(t *testing.T) {
+	a, b := NewRand(5), NewRand(5)
+	for range 10 {
+		if a.Float64() != b.Float64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	if NewRand(5).Float64() == NewRand(6).Float64() {
+		t.Fatal("different seeds coincided")
+	}
+}
+
+func TestMaxAbsDiff(t *testing.T) {
+	if d := MaxAbsDiff([]float32{1, 2, 3}, []float32{1, 2.5, 3}); d != 0.5 {
+		t.Fatalf("MaxAbsDiff = %v", d)
+	}
+	if d := MaxAbsDiff(nil, nil); d != 0 {
+		t.Fatalf("empty diff = %v", d)
+	}
+}
+
+func TestMaxAbsDiffMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MaxAbsDiff([]float32{1}, []float32{1, 2})
+}
+
+func TestMaxRelDiff(t *testing.T) {
+	got := MaxRelDiff([]float32{100, 1e-9}, []float32{110, 2e-9}, 1e-3)
+	// First element: 10/110 ≈ 0.0909; second: 1e-9/1e-3 = 1e-6.
+	if math.Abs(got-10.0/110) > 1e-9 {
+		t.Fatalf("MaxRelDiff = %v", got)
+	}
+}
+
+func TestMaxRelDiffFloorGuards(t *testing.T) {
+	// Tiny values against zero: without the floor this would be 1.0.
+	if d := MaxRelDiff([]float32{1e-8}, []float32{0}, 1e-3); d > 1e-4 {
+		t.Fatalf("floor not applied: %v", d)
+	}
+}
+
+func TestEqualInt64(t *testing.T) {
+	if !EqualInt64([]int64{1, 2}, []int64{1, 2}) {
+		t.Fatal("equal slices reported unequal")
+	}
+	if EqualInt64([]int64{1}, []int64{1, 2}) || EqualInt64([]int64{1}, []int64{2}) {
+		t.Fatal("unequal slices reported equal")
+	}
+}

@@ -1,0 +1,63 @@
+// Package sgemm implements the Parboil sgemm benchmark (paper §4.3): the
+// scaled matrix product C = α·A·B. All implementations first transpose B
+// so the innermost loop reads contiguous rows, then compute each output
+// element as a dot product of a row of A with a row of Bᵀ. The distributed
+// versions use a 2-D block decomposition that sends each worker only the
+// input rows its block needs — written in Triolet as the paper's two lines:
+//
+//	zipped_AB = outerproduct(rows(A), rows(BT))
+//	AB = [dot(u, v) for (u, v) in par(zipped_AB)]
+package sgemm
+
+import (
+	"triolet/internal/array"
+	"triolet/internal/parboil"
+)
+
+// Input is one sgemm instance: C = Alpha · A(M×K) · B(K×N).
+type Input struct {
+	A, B  array.Matrix[float32]
+	Alpha float32
+}
+
+// Gen creates a deterministic instance with entries in [-1, 1).
+func Gen(m, k, n int, seed uint64) *Input {
+	rng := parboil.NewRand(seed)
+	in := &Input{
+		A:     array.NewMatrix[float32](m, k),
+		B:     array.NewMatrix[float32](k, n),
+		Alpha: 0.5,
+	}
+	for i := range in.A.Data {
+		in.A.Data[i] = rng.Float32()*2 - 1
+	}
+	for i := range in.B.Data {
+		in.B.Data[i] = rng.Float32()*2 - 1
+	}
+	return in
+}
+
+// RowDot is the fused innermost loop shared by every implementation:
+// α · ⟨u, v⟩ for a row of A and a row of Bᵀ.
+func RowDot(alpha float32, u, v []float32) float32 {
+	var acc float32
+	for i, x := range u {
+		acc += x * v[i]
+	}
+	return alpha * acc
+}
+
+// Seq is the sequential C-style kernel: transpose B, then the classic
+// i-j-k loop nest. The speedup-1.0 baseline of paper Fig. 5.
+func Seq(in *Input) array.Matrix[float32] {
+	bt := array.Transpose(in.B)
+	out := array.NewMatrix[float32](in.A.H, in.B.W)
+	for i := 0; i < out.H; i++ {
+		ai := in.A.Row(i)
+		ci := out.Row(i)
+		for j := 0; j < out.W; j++ {
+			ci[j] = RowDot(in.Alpha, ai, bt.Row(j))
+		}
+	}
+	return out
+}

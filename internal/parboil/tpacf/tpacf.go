@@ -1,0 +1,144 @@
+// Package tpacf implements the Parboil tpacf benchmark (paper §4.4): the
+// two-point angular correlation function of observed astronomical objects.
+// Three histograms are computed over pair scores: DD (the observed set
+// against itself), DR (the observed set against each random set, summed),
+// and RR (each random set against itself, summed). The loops are nested
+// and triangular — the shape that defeats indexer-only fusion and
+// motivates the hybrid iterator (paper Fig. 6 shows the Triolet source
+// this package mirrors).
+package tpacf
+
+import (
+	"math"
+
+	"triolet/internal/parboil"
+)
+
+// Point is a position on the unit sphere.
+type Point struct {
+	X, Y, Z float32
+}
+
+// Input is one tpacf instance.
+type Input struct {
+	// Obs is the observed data set.
+	Obs []Point
+	// Rands are the random comparison sets, each the same length as Obs.
+	Rands [][]Point
+	// Binb are the angular bin boundaries as dot-product thresholds,
+	// strictly decreasing; Bins() = len(Binb)-1 histogram bins.
+	Binb []float32
+}
+
+// Bins reports the histogram size.
+func (in *Input) Bins() int { return len(in.Binb) - 1 }
+
+// Result carries the three correlation histograms.
+type Result struct {
+	DD  []int64 // observed self-correlation
+	DRS []int64 // observed × random, summed over random sets
+	RRS []int64 // random self-correlations, summed over random sets
+}
+
+// Gen creates a deterministic instance: points uniform on the sphere and
+// logarithmically spaced angular bins from ~1 arcminute upward, following
+// Parboil's binning scheme.
+func Gen(points, sets, bins int, seed uint64) *Input {
+	rng := parboil.NewRand(seed)
+	genSet := func() []Point {
+		out := make([]Point, points)
+		for i := range out {
+			// Uniform on the sphere via normalized Gaussians.
+			x, y, z := rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()
+			n := math.Sqrt(x*x + y*y + z*z)
+			if n == 0 {
+				n = 1
+			}
+			out[i] = Point{X: float32(x / n), Y: float32(y / n), Z: float32(z / n)}
+		}
+		return out
+	}
+	in := &Input{
+		Obs:   genSet(),
+		Rands: make([][]Point, sets),
+		Binb:  make([]float32, bins+1),
+	}
+	for s := range in.Rands {
+		in.Rands[s] = genSet()
+	}
+	// Decreasing cosine thresholds: bin k holds pairs with
+	// binb[k] >= dot > binb[k+1]. The first boundary sits above 1 so every
+	// pair lands in some bin; the last spans to -1.
+	minArcmin := 1.0
+	maxArcmin := 10000.0
+	logSpan := math.Log10(maxArcmin) - math.Log10(minArcmin)
+	in.Binb[0] = 1.0001
+	for k := 1; k <= bins; k++ {
+		arcmin := math.Pow(10, math.Log10(minArcmin)+logSpan*float64(k)/float64(bins))
+		in.Binb[k] = float32(math.Cos(arcmin / 60 * math.Pi / 180))
+	}
+	in.Binb[bins] = -1.0001
+	return in
+}
+
+// Score maps a pair of points to its angular bin — the paper's score
+// function, shared by every implementation. The linear boundary scan
+// matches Parboil's inner loop.
+func Score(binb []float32, u, v Point) int {
+	dot := u.X*v.X + u.Y*v.Y + u.Z*v.Z
+	for k := 0; k < len(binb)-2; k++ {
+		if dot >= binb[k+1] {
+			return k
+		}
+	}
+	return len(binb) - 2
+}
+
+// SelfCorr accumulates the self-correlation of one set into hist: all
+// unique pairs (i, j) with j > i.
+func SelfCorr(binb []float32, set []Point, hist []int64) {
+	for i := 0; i < len(set); i++ {
+		u := set[i]
+		for j := i + 1; j < len(set); j++ {
+			hist[Score(binb, u, set[j])]++
+		}
+	}
+}
+
+// CrossCorr accumulates the cross-correlation of two sets into hist: all
+// pairs (a[i], b[j]).
+func CrossCorr(binb []float32, a, b []Point, hist []int64) {
+	for i := 0; i < len(a); i++ {
+		u := a[i]
+		for j := 0; j < len(b); j++ {
+			hist[Score(binb, u, b[j])]++
+		}
+	}
+}
+
+// Seq is the sequential C-style kernel: the speedup-1.0 baseline of paper
+// Fig. 7.
+func Seq(in *Input) Result {
+	res := Result{
+		DD:  make([]int64, in.Bins()),
+		DRS: make([]int64, in.Bins()),
+		RRS: make([]int64, in.Bins()),
+	}
+	SelfCorr(in.Binb, in.Obs, res.DD)
+	for _, r := range in.Rands {
+		CrossCorr(in.Binb, in.Obs, r, res.DRS)
+		SelfCorr(in.Binb, r, res.RRS)
+	}
+	return res
+}
+
+// TotalPairs reports the expected histogram mass for validation: every
+// pair lands in exactly one bin.
+func (in *Input) TotalPairs() (dd, drs, rrs int64) {
+	n := int64(len(in.Obs))
+	s := int64(len(in.Rands))
+	dd = n * (n - 1) / 2
+	drs = s * n * n
+	rrs = s * n * (n - 1) / 2
+	return
+}

@@ -1,0 +1,370 @@
+package perfmodel
+
+import (
+	"math"
+
+	"triolet/internal/domain"
+)
+
+// log2ceil is the depth of a binomial tree over n ranks.
+func log2ceil(n int) float64 {
+	if n <= 1 {
+		return 0
+	}
+	return math.Ceil(math.Log2(float64(n)))
+}
+
+// edenJitter models the paper's observation that Eden "tasks occasionally
+// run significantly slower than normal; with more nodes, it is more likely
+// that a task will be delayed" (§4.2): the compute critical path stretches
+// with the process count.
+func edenJitter(processes int) float64 {
+	return 1 + 0.04*log2ceil(processes)
+}
+
+// ---------------------------------------------------------------- mri-q
+
+// MRIQParams sizes the modeled mri-q run (paper-scale defaults in
+// DefaultMRIQ).
+type MRIQParams struct {
+	Voxels, Samples int
+}
+
+// DefaultMRIQ is a 64³ image against 8192 k-space samples, sized to give a
+// sequential C time in the paper's 20–200 s window.
+func DefaultMRIQ() MRIQParams { return MRIQParams{Voxels: 64 * 64 * 64, Samples: 8192} }
+
+// MRIQSeqTime is the modeled sequential execution time (paper Fig. 3).
+func (c Calibration) MRIQSeqTime(p MRIQParams, impl Impl) float64 {
+	return float64(p.Voxels) * float64(p.Samples) * c.MRIQUnit[impl]
+}
+
+// MRIQ models one (nodes, cores-per-node) point of paper Fig. 4.
+func (c Calibration) MRIQ(m Machine, p MRIQParams, impl Impl, nodes, cores int) Breakdown {
+	V, K := float64(p.Voxels), float64(p.Samples)
+	voxIn := V * 12   // x, y, z float32
+	voxOut := V * 8   // Re, Im float32
+	samples := K * 16 // kx, ky, kz, phiMag
+
+	var b Breakdown
+	switch impl {
+	case RefC, Triolet:
+		b.Compute = V * K * c.MRIQUnit[impl] / float64(nodes*cores)
+		if nodes > 1 {
+			frac := float64(nodes-1) / float64(nodes)
+			// Scatter voxel slices and gather sections: master-serialized.
+			b.Comm = m.netTime(frac*(voxIn+voxOut), 2*float64(nodes-1))
+			// Broadcast samples down the tree.
+			b.Comm += log2ceil(nodes) * m.netTime(samples, 1)
+			// Master-side codec work on everything it touches.
+			b.Serial = (voxIn + voxOut + samples) * c.SerPerByte
+			if impl == Triolet {
+				// Garbage-collected message construction (paper §4.3):
+				// every outgoing and incoming buffer is a fresh
+				// allocation.
+				b.Serial += (voxIn + voxOut + samples) * c.AllocPerByte
+			}
+		}
+	case Eden:
+		procs := nodes * cores
+		b.Compute = V * K * c.MRIQUnit[Eden] / float64(procs) * edenJitter(procs)
+		chunk := 1024.0
+		tasks := math.Ceil(V / chunk)
+		taskIn := chunk*12 + samples // samples replicated per task
+		taskOut := chunk * 8
+		if nodes > 1 {
+			frac := float64(nodes-1) / float64(nodes)
+			// Master → leader bundles and the returned result bundles.
+			b.Comm = m.netTime(frac*tasks*(taskIn+taskOut), 2*float64(nodes-1))
+		}
+		// Leader → worker local copies within each node (no shared
+		// memory), overlapped across nodes: one node's share on the
+		// critical path.
+		perNodeTasks := tasks / float64(nodes)
+		b.Comm += m.localTime(perNodeTasks*(taskIn+taskOut), 2*perNodeTasks)
+		// Master serializes every task (including the replicated samples).
+		b.Serial = tasks * (taskIn + taskOut) * c.SerPerByte
+		b.Serial += tasks * (taskIn + taskOut) * c.AllocPerByte // lazy heap
+	}
+	return b
+}
+
+// ---------------------------------------------------------------- sgemm
+
+// SGEMMParams sizes the modeled sgemm run.
+type SGEMMParams struct {
+	M, K, N int
+}
+
+// DefaultSGEMM is the paper's 4k×4k product.
+func DefaultSGEMM() SGEMMParams { return SGEMMParams{M: 4096, K: 4096, N: 4096} }
+
+// SGEMMSeqTime is the modeled sequential execution time (transpose + loop
+// nest).
+func (c Calibration) SGEMMSeqTime(p SGEMMParams, impl Impl) float64 {
+	macs := float64(p.M) * float64(p.K) * float64(p.N)
+	transpose := float64(p.K) * float64(p.N) * c.SGEMMTransposeElem
+	return macs*c.SGEMMMac[impl] + transpose
+}
+
+// SGEMM models one point of paper Fig. 5.
+func (c Calibration) SGEMM(m Machine, p SGEMMParams, impl Impl, nodes, cores int) Breakdown {
+	macs := float64(p.M) * float64(p.K) * float64(p.N)
+	transposeWork := float64(p.K) * float64(p.N) * c.SGEMMTransposeElem
+
+	// 2-D grid over the distribution unit (nodes for Triolet/RefC;
+	// processes for Eden).
+	gridBytes := func(units int) (inBytes, outBytes, maxUnitIn float64) {
+		py, px := domain.NewDim2(p.M, p.N).GridShape(units)
+		mb, nb := float64(p.M)/float64(py), float64(p.N)/float64(px)
+		perUnitIn := (mb + nb) * float64(p.K) * 4
+		return float64(units) * perUnitIn, float64(p.M) * float64(p.N) * 4, perUnitIn
+	}
+
+	var b Breakdown
+	switch impl {
+	case RefC, Triolet:
+		// Transposition in shared memory on the master's cores (§4.3).
+		b.Serial = transposeWork / float64(cores)
+		b.Compute = macs * c.SGEMMMac[impl] / float64(nodes*cores)
+		inBytes, outBytes, _ := gridBytes(nodes)
+		if nodes > 1 {
+			frac := float64(nodes-1) / float64(nodes)
+			b.Comm = m.netTime(frac*(inBytes+outBytes), 2*float64(nodes-1))
+			b.Serial += (inBytes + outBytes) * c.SerPerByte
+			if impl == Triolet {
+				// The paper measures 40 % of Triolet's overhead at 8 nodes
+				// as garbage collection on tens-of-MB messages.
+				b.Serial += (inBytes + outBytes) * c.AllocPerByte
+			}
+		}
+	case Eden:
+		procs := nodes * cores
+		// Sequential transposition: Eden has no shared memory, and
+		// distributing it costs more than it saves (§4.3: 35 % of Eden's
+		// 128-core time).
+		b.Serial = transposeWork
+		b.Compute = macs * c.SGEMMMac[Eden] / float64(procs) * edenJitter(procs)
+		if procs == 1 {
+			// One process: the master evaluates locally; nothing crosses
+			// the runtime's message buffer.
+			return b
+		}
+		inBytes, outBytes, perTaskIn := gridBytes(procs)
+		// Bundles per node must fit Eden's message buffer (§4.3) — this is
+		// the configuration the paper reports failing at ≥2 nodes.
+		if m.EdenMaxMessage > 0 {
+			if nodes > 1 && inBytes/float64(nodes) > float64(m.EdenMaxMessage) {
+				return Breakdown{Failed: true}
+			}
+			if perTaskIn > float64(m.EdenMaxMessage) {
+				return Breakdown{Failed: true}
+			}
+		}
+		if nodes > 1 {
+			frac := float64(nodes-1) / float64(nodes)
+			b.Comm = m.netTime(frac*(inBytes+outBytes), 2*float64(nodes-1))
+		}
+		b.Comm += m.localTime((inBytes+outBytes)/float64(nodes), 2*float64(cores))
+		b.Serial += (inBytes + outBytes) * (c.SerPerByte + c.AllocPerByte)
+	}
+	return b
+}
+
+// ---------------------------------------------------------------- tpacf
+
+// TPACFParams sizes the modeled tpacf run.
+type TPACFParams struct {
+	Points, Sets, Bins int
+}
+
+// DefaultTPACF is 100 random sets of 4096 points, Parboil's large scale.
+func DefaultTPACF() TPACFParams { return TPACFParams{Points: 4096, Sets: 100, Bins: 20} }
+
+func (p TPACFParams) pairs() (dd, distributed float64) {
+	n := float64(p.Points)
+	s := float64(p.Sets)
+	dd = n * (n - 1) / 2
+	distributed = s * (n*n + n*(n-1)/2)
+	return
+}
+
+// TPACFSeqTime is the modeled sequential execution time.
+func (c Calibration) TPACFSeqTime(p TPACFParams, impl Impl) float64 {
+	dd, dist := p.pairs()
+	return (dd + dist) * c.TPACFPair[impl]
+}
+
+// TPACF models one point of paper Fig. 7.
+func (c Calibration) TPACF(m Machine, p TPACFParams, impl Impl, nodes, cores int) Breakdown {
+	dd, dist := p.pairs()
+	setBytes := float64(p.Points) * 12
+	histBytes := float64(2*p.Bins) * 8
+
+	var b Breakdown
+	switch impl {
+	case RefC, Triolet:
+		// DD on the master's threads; the distributed loops across sets.
+		ddTime := dd * c.TPACFPair[impl] / float64(cores)
+		workers := math.Min(float64(p.Sets), float64(nodes*cores))
+		b.Compute = ddTime + dist*c.TPACFPair[impl]/workers
+		if nodes > 1 {
+			frac := float64(nodes-1) / float64(nodes)
+			b.Comm = m.netTime(frac*float64(p.Sets)*setBytes, float64(nodes-1)) // scatter sets
+			b.Comm += log2ceil(nodes) * m.netTime(setBytes, 1)                  // bcast obs
+			b.Comm += log2ceil(nodes) * m.netTime(histBytes, 1)                 // reduce hists
+			b.Serial = float64(p.Sets) * setBytes * c.SerPerByte
+			if impl == Triolet {
+				b.Serial += float64(p.Sets) * setBytes * c.AllocPerByte
+			}
+		}
+	case Eden:
+		procs := nodes * cores
+		ddTime := dd * c.TPACFPair[Eden] // master, one core: no shared memory
+		workers := math.Min(float64(p.Sets), float64(procs))
+		b.Compute = ddTime + dist*c.TPACFPair[Eden]/workers*edenJitter(procs)
+		// One task per set, each replicating the observed set.
+		taskIn := 2 * setBytes
+		taskOut := histBytes
+		total := float64(p.Sets) * (taskIn + taskOut)
+		if nodes > 1 {
+			frac := float64(nodes-1) / float64(nodes)
+			b.Comm = m.netTime(frac*total, 2*float64(nodes-1))
+		}
+		b.Comm += m.localTime(total/float64(nodes), 2*float64(p.Sets)/float64(nodes))
+		b.Serial = total * (c.SerPerByte + c.AllocPerByte)
+	}
+	return b
+}
+
+// ---------------------------------------------------------------- cutcp
+
+// CUTCPParams sizes the modeled cutcp run.
+type CUTCPParams struct {
+	Atoms   int
+	Dim     domain.Dim3
+	Spacing float32
+	Cutoff  float32
+}
+
+// DefaultCUTCP is 300k atoms on a 208³ grid (36 MB of float32) with a
+// 12-cell cutoff radius — sized so the output-grid reduction dominates
+// scaling, as the paper reports (§4.5).
+func DefaultCUTCP() CUTCPParams {
+	return CUTCPParams{
+		Atoms:   300_000,
+		Dim:     domain.Dim3{D: 208, H: 208, W: 208},
+		Spacing: 0.5,
+		Cutoff:  6.0,
+	}
+}
+
+// cellsPerAtom is the interior bounding-box volume in cells.
+func (p CUTCPParams) cellsPerAtom() float64 {
+	edge := 2*float64(p.Cutoff)/float64(p.Spacing) + 1
+	return edge * edge * edge
+}
+
+// CUTCPSeqTime is the modeled sequential execution time.
+func (c Calibration) CUTCPSeqTime(p CUTCPParams, impl Impl) float64 {
+	return float64(p.Atoms) * p.cellsPerAtom() * c.CUTCPCell[impl]
+}
+
+// CUTCP models one point of paper Fig. 8. The dominant scaling limit is
+// summing the large output grids (paper §4.5), which the model charges on
+// every merge hop.
+func (c Calibration) CUTCP(m Machine, p CUTCPParams, impl Impl, nodes, cores int) Breakdown {
+	work := float64(p.Atoms) * p.cellsPerAtom()
+	grid := float64(p.Dim.Size())
+	gridBytes := grid * 4
+	atomBytes := float64(p.Atoms) * 16
+
+	var b Breakdown
+	switch impl {
+	case RefC, Triolet:
+		b.Compute = work * c.CUTCPCell[impl] / float64(nodes*cores)
+		// Per-node merge of per-thread private grids (sequential on the
+		// node, overlapped across nodes).
+		b.Compute += float64(cores) * grid * c.AddF32
+		if impl == Triolet {
+			// Allocating one private grid per thread, GC-managed.
+			b.Serial += float64(cores) * gridBytes * c.AllocPerByte
+		}
+		if nodes > 1 {
+			frac := float64(nodes-1) / float64(nodes)
+			b.Comm = m.netTime(frac*atomBytes, float64(nodes-1)) // scatter atoms
+			// Tree reduction of full grids: each hop ships, decodes, and
+			// adds a grid.
+			hop := m.netTime(gridBytes, 1) + grid*c.AddF32 + 2*gridBytes*c.SerPerByte
+			if impl == Triolet {
+				hop += gridBytes * c.AllocPerByte
+			}
+			b.Comm += log2ceil(nodes) * hop
+			b.Serial += atomBytes * c.SerPerByte
+		}
+	case Eden:
+		procs := nodes * cores
+		b.Compute = work * c.CUTCPCell[Eden] / float64(procs) * edenJitter(procs)
+		if procs == 1 {
+			return b
+		}
+		// Every process returns a full grid, relayed grid-by-grid through
+		// its leader; see below.
+		// its leader (individual grids, not one bundle, so each message is
+		// one grid); the master decodes and folds all of them
+		// sequentially.
+		if m.EdenMaxMessage > 0 && gridBytes > float64(m.EdenMaxMessage) {
+			return Breakdown{Failed: true}
+		}
+		totalGrids := float64(procs) * gridBytes
+		if nodes > 1 {
+			frac := float64(nodes-1) / float64(nodes)
+			b.Comm = m.netTime(frac*totalGrids, float64(procs))
+		}
+		b.Comm += m.localTime(totalGrids/float64(nodes), float64(cores))
+		b.Serial = totalGrids*(c.SerPerByte+c.AllocPerByte) + float64(procs)*grid*c.AddF32
+		b.Serial += float64(p.Atoms) * 16 * c.SerPerByte
+	}
+	return b
+}
+
+// CUTCPSlab models the repository's slab-decomposed extension
+// (internal/parboil/cutcp/slab.go): the grid is partitioned into Z-slabs
+// owned exclusively by one node each, atoms are routed to the slabs their
+// cutoff boxes intersect (duplicating boundary atoms), and the gather
+// returns disjoint slabs — eliminating the full-grid reduction that makes
+// the paper's cutcp saturate (§4.5). Only the Triolet implementation
+// exists; the model quantifies the projected paper-scale benefit recorded
+// in EXPERIMENTS.md.
+func (c Calibration) CUTCPSlab(m Machine, p CUTCPParams, nodes, cores int) Breakdown {
+	work := float64(p.Atoms) * p.cellsPerAtom()
+	grid := float64(p.Dim.Size())
+	gridBytes := grid * 4
+	atomBytes := float64(p.Atoms) * 16
+
+	// Boundary duplication applies to atom ROUTING only: a straddling
+	// atom is sent to both neighbouring slabs, but its box is clipped on
+	// each side, so every grid cell is still computed exactly once
+	// globally. The routed-atom volume grows by the straddler fraction
+	// ~(boxEdge−1)/slabDepth.
+	slabDepth := float64(p.Dim.D) / float64(nodes)
+	boxEdge := 2*float64(p.Cutoff)/float64(p.Spacing) + 1
+	dup := 1.0
+	if nodes > 1 {
+		dup = 1 + math.Min(1, (boxEdge-1)/slabDepth)
+	}
+
+	var b Breakdown
+	b.Compute = work * c.CUTCPCell[Triolet] / float64(nodes*cores)
+	// Per-node merge of per-thread private slabs (grid/nodes points each).
+	b.Compute += float64(cores) * grid / float64(nodes) * c.AddF32
+	b.Serial = float64(cores) * gridBytes / float64(nodes) * c.AllocPerByte
+	if nodes > 1 {
+		frac := float64(nodes-1) / float64(nodes)
+		// Routed atoms out (with duplication), disjoint slabs back: the
+		// grid crosses the fabric once in total, not once per node.
+		b.Comm = m.netTime(frac*(atomBytes*dup+gridBytes), 2*float64(nodes-1))
+		b.Serial += (atomBytes*dup + gridBytes) * (c.SerPerByte + c.AllocPerByte)
+	}
+	return b
+}

@@ -1,0 +1,114 @@
+package perfmodel
+
+import (
+	"testing"
+
+	"triolet/internal/cluster"
+	"triolet/internal/domain"
+	"triolet/internal/eden"
+	"triolet/internal/parboil/cutcp"
+	"triolet/internal/parboil/mriq"
+	"triolet/internal/parboil/tpacf"
+)
+
+// These tests pin the model's communication-volume formulas to reality:
+// they run the actual distributed implementations on the virtual cluster
+// and compare the fabric's metered byte counts with the closed-form
+// volumes the model charges. Headers, kernel-invocation broadcasts, and
+// shutdown traffic make real counts slightly larger; the tolerance bounds
+// that slack.
+
+func within(t *testing.T, name string, measured, modeled float64, slack float64) {
+	t.Helper()
+	if modeled <= 0 {
+		t.Fatalf("%s: modeled %v", name, modeled)
+	}
+	ratio := measured / modeled
+	if ratio < 1.0 || ratio > 1.0+slack {
+		t.Errorf("%s: measured %v bytes vs modeled %v (ratio %.3f, want [1.0, %.2f])",
+			name, measured, modeled, ratio, 1.0+slack)
+	}
+}
+
+func TestMRIQTrioletCommFormula(t *testing.T) {
+	const nodes = 4
+	in := mriq.Gen(4000, 128, 7)
+	stats, err := cluster.Run(cluster.Config{Nodes: nodes, CoresPerNode: 1}, func(s *cluster.Session) error {
+		_, err := mriq.Triolet(s, in)
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	V, K := float64(in.NumVoxels()), float64(in.NumSamples())
+	frac := float64(nodes-1) / float64(nodes)
+	// Model charges: scatter 12V + gather 8V (cross fraction) + broadcast
+	// of 16K bytes along N-1 tree edges.
+	modeled := frac*(12*V+8*V) + float64(nodes-1)*16*K
+	within(t, "mriq/triolet", float64(stats.Bytes), modeled, 0.10)
+}
+
+func TestMRIQEdenCommFormula(t *testing.T) {
+	cfg := eden.Config{Processes: 8, ProcsPerNode: 2}
+	in := mriq.Gen(6*mriq.EdenChunkSize, 256, 9)
+	stats, err := eden.Run(cfg, func(m *eden.Master) error {
+		_, err := mriq.Eden(m, in)
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 6 chunk tasks, each carrying 12·1024 input + 16·K replicated samples
+	// and returning 8·1024 bytes. Every task not evaluated by the master
+	// itself crosses the fabric at least once (master→leader) and tasks
+	// for non-leader workers cross again (leader→worker). With 4 nodes of
+	// 2 processes: node 0's tasks go master→worker once; other nodes'
+	// tasks go master→leader and (half) leader→worker.
+	taskIn := 12.0*1024 + 16*float64(in.NumSamples())
+	taskOut := 8.0 * 1024
+	// Task partition over 4 nodes of 2 processes: [2,2,1,1].
+	//   node 0 (master is its leader): 1 task forwarded to its worker → 1
+	//   node 1: bundle of 2 in/out + 1 forwarded                      → 3
+	//   nodes 2, 3: bundle of 1 each, leader evaluates it locally     → 2
+	// for 6 task-sized crossings in each direction.
+	modeled := 6 * (taskIn + taskOut)
+	within(t, "mriq/eden", float64(stats.Bytes), modeled, 0.15)
+}
+
+func TestTPACFTrioletCommFormula(t *testing.T) {
+	const nodes = 4
+	in := tpacf.Gen(300, 12, 16, 11)
+	stats, err := cluster.Run(cluster.Config{Nodes: nodes, CoresPerNode: 1}, func(s *cluster.Session) error {
+		_, err := tpacf.Triolet(s, in)
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	setBytes := float64(300 * 12) // 12 bytes per point
+	frac := float64(nodes-1) / float64(nodes)
+	// Scatter 12 sets (cross fraction), broadcast obs along tree edges,
+	// reduce two histograms up the tree (one hop per non-root rank).
+	histBytes := float64(2*16) * 8
+	modeled := frac*12*setBytes + float64(nodes-1)*setBytes + float64(nodes-1)*histBytes
+	within(t, "tpacf/triolet", float64(stats.Bytes), modeled, 0.15)
+}
+
+func TestCUTCPTrioletCommFormula(t *testing.T) {
+	const nodes = 4
+	in := cutcp.Gen(400, domain.Dim3{D: 12, H: 12, W: 12}, 0.5, 1.5, 13)
+	stats, err := cluster.Run(cluster.Config{Nodes: nodes, CoresPerNode: 1}, func(s *cluster.Session) error {
+		_, err := cutcp.Triolet(s, in)
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	atomBytes := float64(400 * 16)
+	gridBytes := float64(in.Geo.Points() * 4)
+	frac := float64(nodes-1) / float64(nodes)
+	// Scatter atoms; every non-root rank sends one full grid up the
+	// reduction tree.
+	modeled := frac*atomBytes + float64(nodes-1)*gridBytes
+	within(t, "cutcp/triolet", float64(stats.Bytes), modeled, 0.10)
+}

@@ -1,0 +1,5 @@
+//go:build !race
+
+package perfmodel
+
+const raceEnabled = false

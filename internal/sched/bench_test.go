@@ -1,0 +1,88 @@
+package sched
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// Scheduler overhead benchmarks: region startup cost, grain sensitivity,
+// and steal-heavy imbalance.
+
+func BenchmarkParallelForOverhead(b *testing.B) {
+	// An empty-body region measures pure scheduling cost.
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(map[int]string{1: "w1", 2: "w2", 4: "w4"}[workers], func(b *testing.B) {
+			p := NewPool(workers)
+			defer p.Close()
+			for b.Loop() {
+				p.ParallelFor(1<<12, 256, func(_, _, _ int) {})
+			}
+		})
+	}
+}
+
+func BenchmarkGrainSensitivity(b *testing.B) {
+	p := NewPool(4)
+	defer p.Close()
+	const n = 1 << 16
+	var sink atomic.Int64
+	for _, grain := range []int{16, 256, 4096} {
+		name := map[int]string{16: "grain16", 256: "grain256", 4096: "grain4096"}[grain]
+		b.Run(name, func(b *testing.B) {
+			for b.Loop() {
+				var local int64
+				p.ParallelFor(n, grain, func(_, lo, hi int) {
+					s := int64(0)
+					for i := lo; i < hi; i++ {
+						s += int64(i)
+					}
+					atomic.AddInt64(&local, s)
+				})
+				sink.Store(local)
+			}
+		})
+	}
+}
+
+func BenchmarkImbalancedSteal(b *testing.B) {
+	// A triangular workload: early indices are cheap, late ones expensive.
+	// Work-stealing must keep workers busy; this measures the balanced
+	// throughput.
+	p := NewPool(4)
+	defer p.Close()
+	const n = 4096
+	var sink atomic.Int64
+	for b.Loop() {
+		var total int64
+		p.ParallelFor(n, 16, func(_, lo, hi int) {
+			s := int64(0)
+			for i := lo; i < hi; i++ {
+				for j := 0; j < i/8; j++ {
+					s += int64(j)
+				}
+			}
+			atomic.AddInt64(&total, s)
+		})
+		sink.Store(total)
+	}
+}
+
+func BenchmarkParallelReduce(b *testing.B) {
+	p := NewPool(4)
+	defer p.Close()
+	xs := make([]float64, 1<<18)
+	for i := range xs {
+		xs[i] = float64(i)
+	}
+	for b.Loop() {
+		_ = ParallelReduce(p, len(xs), 2048, 0.0,
+			func(lo, hi int) float64 {
+				s := 0.0
+				for i := lo; i < hi; i++ {
+					s += xs[i]
+				}
+				return s
+			},
+			func(a, b float64) float64 { return a + b })
+	}
+}

@@ -1,0 +1,64 @@
+// Package sched implements the shared-memory half of the paper's two-level
+// parallel architecture (§3.4): a per-node pool of worker goroutines with
+// work-stealing range deques, playing the role Threading Building Blocks
+// plays in Triolet's runtime. Parallel loops are split recursively: each
+// worker pops from the bottom of its own deque (LIFO, for locality) and
+// steals from the top of a victim's deque (FIFO, taking the largest
+// remaining pieces), with ranges re-split down to a grain size.
+package sched
+
+import (
+	"sync"
+
+	"triolet/internal/domain"
+)
+
+// deque is a work-stealing deque of index ranges. The owner pushes and pops
+// at the bottom; thieves steal from the top. A mutex guards the (small)
+// critical sections; range-granularity tasks make the lock traffic
+// negligible compared to loop bodies, and the locking discipline is easy to
+// verify, which we value over a lock-free variant here.
+type deque struct {
+	mu    sync.Mutex
+	items []domain.Range
+}
+
+// pushBottom adds r to the owner's end.
+func (d *deque) pushBottom(r domain.Range) {
+	d.mu.Lock()
+	d.items = append(d.items, r)
+	d.mu.Unlock()
+}
+
+// popBottom removes the most recently pushed range (owner side).
+func (d *deque) popBottom() (domain.Range, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	n := len(d.items)
+	if n == 0 {
+		return domain.Range{}, false
+	}
+	r := d.items[n-1]
+	d.items = d.items[:n-1]
+	return r, true
+}
+
+// stealTop removes the oldest range (thief side).
+func (d *deque) stealTop() (domain.Range, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.items) == 0 {
+		return domain.Range{}, false
+	}
+	r := d.items[0]
+	d.items = d.items[1:]
+	return r, true
+}
+
+// size reports the current number of queued ranges (racy snapshot, used
+// only for victim selection heuristics and tests).
+func (d *deque) size() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.items)
+}

@@ -1,0 +1,262 @@
+package sched
+
+import (
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+
+	"triolet/internal/domain"
+)
+
+func TestDequeLIFOAndFIFO(t *testing.T) {
+	d := &deque{}
+	d.pushBottom(domain.Range{Lo: 0, Hi: 1})
+	d.pushBottom(domain.Range{Lo: 1, Hi: 2})
+	d.pushBottom(domain.Range{Lo: 2, Hi: 3})
+	if d.size() != 3 {
+		t.Fatalf("size = %d", d.size())
+	}
+	// Owner pops newest.
+	r, ok := d.popBottom()
+	if !ok || r.Lo != 2 {
+		t.Fatalf("popBottom = %v %v", r, ok)
+	}
+	// Thief steals oldest.
+	r, ok = d.stealTop()
+	if !ok || r.Lo != 0 {
+		t.Fatalf("stealTop = %v %v", r, ok)
+	}
+	r, ok = d.popBottom()
+	if !ok || r.Lo != 1 {
+		t.Fatalf("popBottom = %v %v", r, ok)
+	}
+	if _, ok := d.popBottom(); ok {
+		t.Fatal("pop from empty succeeded")
+	}
+	if _, ok := d.stealTop(); ok {
+		t.Fatal("steal from empty succeeded")
+	}
+}
+
+func TestNewPoolInvalidPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewPool(0)
+}
+
+func TestParallelForCoversExactlyOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 7} {
+		p := NewPool(workers)
+		const n = 10000
+		counts := make([]atomic.Int32, n)
+		p.ParallelFor(n, 64, func(_, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				counts[i].Add(1)
+			}
+		})
+		p.Close()
+		for i := range counts {
+			if c := counts[i].Load(); c != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestParallelForZeroAndNegative(t *testing.T) {
+	p := NewPool(2)
+	defer p.Close()
+	ran := false
+	p.ParallelFor(0, 1, func(_, _, _ int) { ran = true })
+	if ran {
+		t.Fatal("body ran for n=0")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for n<0")
+		}
+	}()
+	p.ParallelFor(-1, 1, nil)
+}
+
+func TestParallelForWorkerIndexInRange(t *testing.T) {
+	p := NewPool(3)
+	defer p.Close()
+	var bad atomic.Int32
+	p.ParallelFor(5000, 16, func(worker, _, _ int) {
+		if worker < 0 || worker >= 3 {
+			bad.Add(1)
+		}
+	})
+	if bad.Load() != 0 {
+		t.Fatal("worker index out of range")
+	}
+}
+
+func TestParallelForGrainRespected(t *testing.T) {
+	p := NewPool(2)
+	defer p.Close()
+	var maxLen atomic.Int64
+	p.ParallelFor(4096, 100, func(_, lo, hi int) {
+		l := int64(hi - lo)
+		for {
+			cur := maxLen.Load()
+			if l <= cur || maxLen.CompareAndSwap(cur, l) {
+				break
+			}
+		}
+	})
+	if got := maxLen.Load(); got > 100 {
+		t.Fatalf("range of %d exceeded grain 100", got)
+	}
+}
+
+func TestParallelForPanicsPropagate(t *testing.T) {
+	p := NewPool(2)
+	defer p.Close()
+	defer func() {
+		if pv := recover(); pv != "kaboom" {
+			t.Fatalf("recovered %v", pv)
+		}
+	}()
+	p.ParallelFor(100, 1, func(_, lo, _ int) {
+		if lo == 0 {
+			panic("kaboom")
+		}
+	})
+}
+
+func TestPoolReusableAfterPanic(t *testing.T) {
+	p := NewPool(2)
+	defer p.Close()
+	func() {
+		defer func() { recover() }()
+		p.ParallelFor(10, 1, func(_, _, _ int) { panic("x") })
+	}()
+	// Pool must still work.
+	var total atomic.Int64
+	p.ParallelFor(100, 8, func(_, lo, hi int) { total.Add(int64(hi - lo)) })
+	if total.Load() != 100 {
+		t.Fatalf("after panic, covered %d", total.Load())
+	}
+}
+
+func TestParallelReduceSum(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	got := ParallelReduce(p, 1000, 32, 0,
+		func(lo, hi int) int {
+			s := 0
+			for i := lo; i < hi; i++ {
+				s += i
+			}
+			return s
+		},
+		func(a, b int) int { return a + b })
+	if got != 999*1000/2 {
+		t.Fatalf("reduce = %d", got)
+	}
+}
+
+// Property: ParallelReduce equals sequential reduce for random inputs and
+// pool shapes.
+func TestParallelReduceMatchesSequential(t *testing.T) {
+	p := NewPool(3)
+	defer p.Close()
+	prop := func(xs []int32, grain0 uint8) bool {
+		grain := int(grain0%50) + 1
+		want := int64(0)
+		for _, v := range xs {
+			want += int64(v)
+		}
+		got := ParallelReduce(p, len(xs), grain, int64(0),
+			func(lo, hi int) int64 {
+				var s int64
+				for i := lo; i < hi; i++ {
+					s += int64(xs[i])
+				}
+				return s
+			},
+			func(a, b int64) int64 { return a + b })
+		return got == want
+	}
+	cfg := &quick.Config{MaxCount: 30}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParallelForRectTiles(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	dom := domain.NewDim2(37, 23)
+	hits := make([]atomic.Int32, dom.Size())
+	p.ParallelForRect(dom, func(_ int, r domain.Rect) {
+		for y := r.Rows.Lo; y < r.Rows.Hi; y++ {
+			for x := r.Cols.Lo; x < r.Cols.Hi; x++ {
+				hits[dom.Linear(domain.Ix2{Y: y, X: x})].Add(1)
+			}
+		}
+	})
+	for i := range hits {
+		if hits[i].Load() != 1 {
+			t.Fatalf("cell %d visited %d times", i, hits[i].Load())
+		}
+	}
+	// Empty domain: no calls, no hang.
+	p.ParallelForRect(domain.NewDim2(0, 5), func(int, domain.Rect) {
+		t.Error("body called for empty domain")
+	})
+}
+
+func TestThreadPrivateAccumulators(t *testing.T) {
+	// The per-worker index enables private histograms merged afterwards —
+	// the paper's C+OpenMP histogram privatization pattern.
+	p := NewPool(4)
+	defer p.Close()
+	const bins = 8
+	private := make([][]int64, p.Workers())
+	for w := range private {
+		private[w] = make([]int64, bins)
+	}
+	const n = 20000
+	p.ParallelFor(n, 128, func(worker, lo, hi int) {
+		h := private[worker]
+		for i := lo; i < hi; i++ {
+			h[i%bins]++
+		}
+	})
+	merged := make([]int64, bins)
+	for _, h := range private {
+		for i, v := range h {
+			merged[i] += v
+		}
+	}
+	for i, v := range merged {
+		if v != n/bins {
+			t.Fatalf("bin %d = %d", i, v)
+		}
+	}
+}
+
+func TestCloseIdempotent(t *testing.T) {
+	p := NewPool(1)
+	p.Close()
+	p.Close() // must not panic or hang
+}
+
+func TestManySmallRegions(t *testing.T) {
+	// Regression guard for region-handoff races: many back-to-back regions.
+	p := NewPool(4)
+	defer p.Close()
+	for range 200 {
+		var total atomic.Int64
+		p.ParallelFor(64, 4, func(_, lo, hi int) { total.Add(int64(hi - lo)) })
+		if total.Load() != 64 {
+			t.Fatalf("covered %d", total.Load())
+		}
+	}
+}

@@ -1,0 +1,78 @@
+package sched
+
+import "triolet/internal/domain"
+
+// ParallelScan computes the inclusive prefix combination of xs in place
+// and returns the total, using the classic three-phase block algorithm:
+//
+//  1. upsweep: each block reduces to a block total, in parallel;
+//  2. a sequential exclusive scan over the (few) block totals;
+//  3. downsweep: each block rescans with its offset, in parallel.
+//
+// op must be associative with identity id. This is the "parallel scan" of
+// paper §3.1 — the multipass machinery variable-output loops need when a
+// framework cannot fuse them, implemented here both as a usable primitive
+// and as the cost baseline the fusion ablations compare against.
+func ParallelScan[T any](p *Pool, xs []T, id T, op func(T, T) T) T {
+	n := len(xs)
+	if n == 0 {
+		return id
+	}
+	if p == nil || p.Workers() == 1 {
+		acc := id
+		for i := range xs {
+			acc = op(acc, xs[i])
+			xs[i] = acc
+		}
+		return acc
+	}
+	// Block size balances phase-1/3 parallelism against phase-2 serial
+	// work: a few blocks per worker.
+	blocks := domain.BlockPartition(n, min(4*p.Workers(), n))
+
+	// Phase 1: per-block totals.
+	totals := make([]T, len(blocks))
+	p.ParallelFor(len(blocks), 1, func(_, lo, hi int) {
+		for b := lo; b < hi; b++ {
+			acc := id
+			for i := blocks[b].Lo; i < blocks[b].Hi; i++ {
+				acc = op(acc, xs[i])
+			}
+			totals[b] = acc
+		}
+	})
+
+	// Phase 2: exclusive scan of block totals (serial: block count is
+	// O(workers)).
+	offsets := make([]T, len(blocks))
+	acc := id
+	for b := range blocks {
+		offsets[b] = acc
+		acc = op(acc, totals[b])
+	}
+
+	// Phase 3: rescan each block from its offset.
+	p.ParallelFor(len(blocks), 1, func(_, lo, hi int) {
+		for b := lo; b < hi; b++ {
+			a := offsets[b]
+			for i := blocks[b].Lo; i < blocks[b].Hi; i++ {
+				a = op(a, xs[i])
+				xs[i] = a
+			}
+		}
+	})
+	return acc
+}
+
+// ExclusiveScan converts xs to its exclusive prefix combination in place
+// (element i becomes the combination of elements 0..i-1) and returns the
+// total.
+func ExclusiveScan[T any](p *Pool, xs []T, id T, op func(T, T) T) T {
+	total := ParallelScan(p, xs, id, op)
+	// Shift right by one: inclusive[i-1] is exclusive[i].
+	prev := id
+	for i := range xs {
+		xs[i], prev = prev, xs[i]
+	}
+	return total
+}

@@ -1,0 +1,135 @@
+package sched
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestParallelScanEmpty(t *testing.T) {
+	p := NewPool(2)
+	defer p.Close()
+	if got := ParallelScan(p, []int{}, 0, func(a, b int) int { return a + b }); got != 0 {
+		t.Fatalf("empty scan total = %d", got)
+	}
+}
+
+func TestParallelScanSmall(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	xs := []int{1, 2, 3, 4, 5}
+	total := ParallelScan(p, xs, 0, func(a, b int) int { return a + b })
+	want := []int{1, 3, 6, 10, 15}
+	for i := range want {
+		if xs[i] != want[i] {
+			t.Fatalf("scan = %v", xs)
+		}
+	}
+	if total != 15 {
+		t.Fatalf("total = %d", total)
+	}
+}
+
+func TestParallelScanNilPool(t *testing.T) {
+	xs := []int{2, 2, 2}
+	total := ParallelScan[int](nil, xs, 0, func(a, b int) int { return a + b })
+	if total != 6 || xs[2] != 6 {
+		t.Fatalf("nil-pool scan = %v total %d", xs, total)
+	}
+}
+
+// Property: ParallelScan equals the sequential inclusive scan for any
+// input and any pool width, including non-commutative operators.
+func TestParallelScanMatchesSequential(t *testing.T) {
+	pools := []*Pool{NewPool(1), NewPool(3), NewPool(8)}
+	defer func() {
+		for _, p := range pools {
+			p.Close()
+		}
+	}()
+	// Matrix-like non-commutative op: affine composition (a, b) where
+	// x → a*x+b, composed left to right. Associative, identity (1, 0).
+	type aff struct{ A, B int64 }
+	compose := func(f, g aff) aff { return aff{A: f.A * g.A, B: g.A*f.B + g.B} }
+	id := aff{A: 1, B: 0}
+
+	prop := func(raw []int8, pi uint8) bool {
+		p := pools[int(pi)%len(pools)]
+		xs := make([]aff, len(raw))
+		ref := make([]aff, len(raw))
+		for i, v := range raw {
+			// Keep A in {1, -1, 2} so products stay bounded.
+			a := int64(1)
+			switch v % 3 {
+			case 1:
+				a = -1
+			case 2:
+				a = 2
+			}
+			xs[i] = aff{A: a, B: int64(v)}
+			ref[i] = xs[i]
+		}
+		// Sequential reference.
+		acc := id
+		for i := range ref {
+			acc = compose(acc, ref[i])
+			ref[i] = acc
+		}
+		total := ParallelScan(p, xs, id, compose)
+		for i := range xs {
+			if xs[i] != ref[i] {
+				return false
+			}
+		}
+		return len(xs) == 0 || total == ref[len(ref)-1]
+	}
+	cfg := &quick.Config{MaxCount: 60}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExclusiveScan(t *testing.T) {
+	p := NewPool(3)
+	defer p.Close()
+	xs := []int{5, 1, 2}
+	total := ExclusiveScan(p, xs, 0, func(a, b int) int { return a + b })
+	if total != 8 {
+		t.Fatalf("total = %d", total)
+	}
+	want := []int{0, 5, 6}
+	for i := range want {
+		if xs[i] != want[i] {
+			t.Fatalf("exclusive = %v", xs)
+		}
+	}
+}
+
+// Property: exclusive scan relates to inclusive scan by a one-slot shift.
+func TestExclusiveVsInclusive(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	prop := func(xs []int32) bool {
+		inc := make([]int64, len(xs))
+		exc := make([]int64, len(xs))
+		for i, v := range xs {
+			inc[i] = int64(v)
+			exc[i] = int64(v)
+		}
+		add := func(a, b int64) int64 { return a + b }
+		tInc := ParallelScan(p, inc, 0, add)
+		tExc := ExclusiveScan(p, exc, 0, add)
+		if tInc != tExc {
+			return false
+		}
+		for i := 1; i < len(xs); i++ {
+			if exc[i] != inc[i-1] {
+				return false
+			}
+		}
+		return len(xs) == 0 || exc[0] == 0
+	}
+	cfg := &quick.Config{MaxCount: 40}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,59 @@
+package serial
+
+import "testing"
+
+// Serialization throughput benchmarks: the block-copy numeric paths are
+// what the paper's runtime relies on to keep message construction cheap
+// ("such arrays are serialized using a block copy to minimize
+// serialization time", §3.4).
+
+var benchF64 = make([]float64, 1<<17) // 1 MB
+var benchF32 = make([]float32, 1<<18) // 1 MB
+var benchSinkB []byte
+var benchSinkF []float64
+
+func BenchmarkF64SliceEncode(b *testing.B) {
+	w := NewWriter(8*len(benchF64) + 16)
+	b.SetBytes(int64(8 * len(benchF64)))
+	for b.Loop() {
+		w.Reset()
+		w.F64Slice(benchF64)
+		benchSinkB = w.Bytes()
+	}
+}
+
+func BenchmarkF64SliceDecode(b *testing.B) {
+	w := NewWriter(8*len(benchF64) + 16)
+	w.F64Slice(benchF64)
+	buf := w.Bytes()
+	b.SetBytes(int64(8 * len(benchF64)))
+	for b.Loop() {
+		benchSinkF = NewReader(buf).F64Slice()
+	}
+}
+
+func BenchmarkF32SliceRoundTrip(b *testing.B) {
+	b.SetBytes(int64(4 * len(benchF32)))
+	for b.Loop() {
+		w := NewWriter(4*len(benchF32) + 16)
+		w.F32Slice(benchF32)
+		_ = NewReader(w.Bytes()).F32Slice()
+	}
+}
+
+func BenchmarkStructuredSliceOf(b *testing.B) {
+	// Composed codec path: slice-of-slices with per-element dispatch, the
+	// slow path the block copies avoid.
+	chunks := make([][]float64, 64)
+	for i := range chunks {
+		chunks[i] = benchF64[:1024]
+	}
+	c := SliceOf(F64s())
+	b.SetBytes(int64(64 * 1024 * 8))
+	for b.Loop() {
+		buf := Marshal(c, chunks)
+		if _, err := Unmarshal(c, buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

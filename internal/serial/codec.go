@@ -1,0 +1,186 @@
+package serial
+
+import "triolet/internal/array"
+
+// Codec serializes values of one type. Codecs compose: structured codecs
+// are built from primitive ones the way Triolet derives serialization from
+// algebraic data type definitions (paper §3.4).
+type Codec[T any] interface {
+	Encode(w *Writer, v T)
+	Decode(r *Reader) T
+}
+
+// Funcs adapts an encode/decode function pair to a Codec.
+type Funcs[T any] struct {
+	Enc func(w *Writer, v T)
+	Dec func(r *Reader) T
+}
+
+// Encode implements Codec.
+func (f Funcs[T]) Encode(w *Writer, v T) { f.Enc(w, v) }
+
+// Decode implements Codec.
+func (f Funcs[T]) Decode(r *Reader) T { return f.Dec(r) }
+
+// Marshal encodes v with c into a fresh byte slice.
+func Marshal[T any](c Codec[T], v T) []byte {
+	w := NewWriter(64)
+	c.Encode(w, v)
+	return w.Bytes()
+}
+
+// Unmarshal decodes a value of type T from b, reporting codec mismatches.
+func Unmarshal[T any](c Codec[T], b []byte) (T, error) {
+	r := NewReader(b)
+	v := c.Decode(r)
+	return v, r.Err()
+}
+
+// F64s is the codec for []float64 (block encoded).
+func F64s() Codec[[]float64] {
+	return Funcs[[]float64]{
+		Enc: func(w *Writer, v []float64) { w.F64Slice(v) },
+		Dec: func(r *Reader) []float64 { return r.F64Slice() },
+	}
+}
+
+// F32s is the codec for []float32 (block encoded).
+func F32s() Codec[[]float32] {
+	return Funcs[[]float32]{
+		Enc: func(w *Writer, v []float32) { w.F32Slice(v) },
+		Dec: func(r *Reader) []float32 { return r.F32Slice() },
+	}
+}
+
+// I64s is the codec for []int64 (block encoded).
+func I64s() Codec[[]int64] {
+	return Funcs[[]int64]{
+		Enc: func(w *Writer, v []int64) { w.I64Slice(v) },
+		Dec: func(r *Reader) []int64 { return r.I64Slice() },
+	}
+}
+
+// Ints is the codec for []int.
+func Ints() Codec[[]int] {
+	return Funcs[[]int]{
+		Enc: func(w *Writer, v []int) { w.IntSlice(v) },
+		Dec: func(r *Reader) []int { return r.IntSlice() },
+	}
+}
+
+// IntC is the codec for a single int.
+func IntC() Codec[int] {
+	return Funcs[int]{
+		Enc: func(w *Writer, v int) { w.Int(v) },
+		Dec: func(r *Reader) int { return r.Int() },
+	}
+}
+
+// F64C is the codec for a single float64.
+func F64C() Codec[float64] {
+	return Funcs[float64]{
+		Enc: func(w *Writer, v float64) { w.F64(v) },
+		Dec: func(r *Reader) float64 { return r.F64() },
+	}
+}
+
+// SliceOf lifts an element codec to a length-prefixed slice codec.
+func SliceOf[T any](elem Codec[T]) Codec[[]T] {
+	return Funcs[[]T]{
+		Enc: func(w *Writer, v []T) {
+			w.Int(len(v))
+			for _, x := range v {
+				elem.Encode(w, x)
+			}
+		},
+		Dec: func(r *Reader) []T {
+			n := r.Int()
+			if r.Err() != nil || n < 0 || n > r.Remaining() {
+				// A structured slice element occupies at least one byte, so
+				// n > Remaining can only be a corrupt or mismatched stream;
+				// refuse to allocate for it.
+				r.fail()
+				return nil
+			}
+			out := make([]T, 0, n)
+			for range n {
+				out = append(out, elem.Decode(r))
+				if r.Err() != nil {
+					return nil
+				}
+			}
+			return out
+		},
+	}
+}
+
+// PairOf combines two codecs into a codec for a pair, encoded first-then-
+// second.
+func PairOf[A, B any](a Codec[A], b Codec[B]) Codec[PairV[A, B]] {
+	return Funcs[PairV[A, B]]{
+		Enc: func(w *Writer, v PairV[A, B]) {
+			a.Encode(w, v.Fst)
+			b.Encode(w, v.Snd)
+		},
+		Dec: func(r *Reader) PairV[A, B] {
+			return PairV[A, B]{Fst: a.Decode(r), Snd: b.Decode(r)}
+		},
+	}
+}
+
+// PairV is the serializable pair used by PairOf.
+type PairV[A, B any] struct {
+	Fst A
+	Snd B
+}
+
+// MatrixF64 is the codec for array.Matrix[float64]: shape header plus block
+// encoded data.
+func MatrixF64() Codec[array.Matrix[float64]] {
+	return Funcs[array.Matrix[float64]]{
+		Enc: func(w *Writer, m array.Matrix[float64]) {
+			w.Int(m.H)
+			w.Int(m.W)
+			w.F64Slice(m.Data)
+		},
+		Dec: func(r *Reader) array.Matrix[float64] {
+			h := r.Int()
+			wd := r.Int()
+			data := r.F64Slice()
+			if r.Err() != nil || len(data) != h*wd {
+				r.fail()
+				return array.Matrix[float64]{}
+			}
+			return array.Matrix[float64]{H: h, W: wd, Data: data}
+		},
+	}
+}
+
+// MatrixF32 is the codec for array.Matrix[float32].
+func MatrixF32() Codec[array.Matrix[float32]] {
+	return Funcs[array.Matrix[float32]]{
+		Enc: func(w *Writer, m array.Matrix[float32]) {
+			w.Int(m.H)
+			w.Int(m.W)
+			w.F32Slice(m.Data)
+		},
+		Dec: func(r *Reader) array.Matrix[float32] {
+			h := r.Int()
+			wd := r.Int()
+			data := r.F32Slice()
+			if r.Err() != nil || len(data) != h*wd {
+				r.fail()
+				return array.Matrix[float32]{}
+			}
+			return array.Matrix[float32]{H: h, W: wd, Data: data}
+		},
+	}
+}
+
+// Unit is the codec for struct{} (zero bytes), used for control messages.
+func Unit() Codec[struct{}] {
+	return Funcs[struct{}]{
+		Enc: func(*Writer, struct{}) {},
+		Dec: func(*Reader) struct{} { return struct{}{} },
+	}
+}

@@ -1,0 +1,199 @@
+package serial
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Object-graph serialization (paper §3.4): "Functions are represented by
+// heap-allocated closures and are also serialized. Serializing an object
+// transitively serializes all objects that it references. Pointers to
+// global data are serialized as a segment identifier and offset."
+//
+// This file provides that runtime facility for the virtual cluster:
+//
+//   - Node is a boxed heap object carrying a payload and references to
+//     other Nodes. EncodeGraph walks the reachable graph once, assigning
+//     sequential ids, so shared substructure is transmitted once and
+//     cycles terminate (back-references encode as ids).
+//   - Global data registered in a SegmentTable is never transmitted at
+//     all: a pointer into a registered segment encodes as (segment id,
+//     offset) and is re-resolved against the receiver's table — the SPMD
+//     assumption that every rank holds the same globals.
+
+// Node is a boxed object in a serializable heap graph. Payload holds the
+// node's own data (encoded with the graph's payload codec); Refs point at
+// other nodes; SegRefs point into registered global segments.
+type Node struct {
+	Payload []byte
+	Refs    []*Node
+	SegRefs []SegPtr
+}
+
+// SegPtr is a pointer into a registered global segment: segment identifier
+// plus element offset.
+type SegPtr struct {
+	Segment SegID
+	Offset  int
+}
+
+// SegID identifies a registered global segment.
+type SegID uint32
+
+// SegmentTable maps segment ids to the process's global arrays. Under the
+// SPMD model every rank registers the same segments in the same order, so
+// a SegPtr created on one rank resolves on any other.
+type SegmentTable struct {
+	mu   sync.RWMutex
+	segs map[SegID][]float64
+	next SegID
+}
+
+// NewSegmentTable returns an empty table.
+func NewSegmentTable() *SegmentTable {
+	return &SegmentTable{segs: make(map[SegID][]float64)}
+}
+
+// Register adds a global segment and returns its id. Ranks must register
+// segments in the same order (ids are sequential).
+func (t *SegmentTable) Register(data []float64) SegID {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	id := t.next
+	t.next++
+	t.segs[id] = data
+	return id
+}
+
+// Resolve returns the value a SegPtr designates.
+func (t *SegmentTable) Resolve(p SegPtr) (float64, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	seg, ok := t.segs[p.Segment]
+	if !ok {
+		return 0, fmt.Errorf("serial: unknown segment %d", p.Segment)
+	}
+	if p.Offset < 0 || p.Offset >= len(seg) {
+		return 0, fmt.Errorf("serial: segment %d offset %d out of range %d", p.Segment, p.Offset, len(seg))
+	}
+	return seg[p.Offset], nil
+}
+
+// ErrGraphCorrupt is reported when a graph decode fails structurally.
+var ErrGraphCorrupt = errors.New("serial: corrupt object graph")
+
+// EncodeGraph serializes the graph reachable from root. Nodes are numbered
+// in first-visit (preorder) order; every node is transmitted exactly once
+// regardless of how many references reach it, and reference cycles are
+// legal. A nil root encodes as an empty graph.
+func EncodeGraph(w *Writer, root *Node) {
+	// First pass: assign ids.
+	ids := map[*Node]int{}
+	order := []*Node{}
+	var visit func(n *Node)
+	visit = func(n *Node) {
+		if n == nil {
+			return
+		}
+		if _, seen := ids[n]; seen {
+			return
+		}
+		ids[n] = len(order)
+		order = append(order, n)
+		for _, r := range n.Refs {
+			visit(r)
+		}
+	}
+	visit(root)
+
+	w.Int(len(order))
+	for _, n := range order {
+		w.RawBytes(n.Payload)
+		w.Int(len(n.Refs))
+		for _, r := range n.Refs {
+			if r == nil {
+				w.Int(-1)
+				continue
+			}
+			w.Int(ids[r])
+		}
+		w.Int(len(n.SegRefs))
+		for _, sp := range n.SegRefs {
+			w.U32(uint32(sp.Segment))
+			w.Int(sp.Offset)
+		}
+	}
+}
+
+// DecodeGraph rebuilds a graph encoded by EncodeGraph and returns its root
+// (node 0), or nil for an empty graph.
+func DecodeGraph(r *Reader) (*Node, error) {
+	n := r.Int()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	if n < 0 || n > r.Remaining() {
+		return nil, fmt.Errorf("%w: %d nodes", ErrGraphCorrupt, n)
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	nodes := make([]*Node, n)
+	for i := range nodes {
+		nodes[i] = &Node{}
+	}
+	for i := range nodes {
+		nodes[i].Payload = r.RawBytes()
+		nrefs := r.Int()
+		if err := r.Err(); err != nil {
+			return nil, err
+		}
+		if nrefs < 0 || nrefs > r.Remaining()+1 {
+			return nil, fmt.Errorf("%w: node %d has %d refs", ErrGraphCorrupt, i, nrefs)
+		}
+		nodes[i].Refs = make([]*Node, nrefs)
+		for j := range nodes[i].Refs {
+			id := r.Int()
+			if id == -1 {
+				continue
+			}
+			if id < 0 || id >= n {
+				return nil, fmt.Errorf("%w: node %d ref %d → %d", ErrGraphCorrupt, i, j, id)
+			}
+			nodes[i].Refs[j] = nodes[id]
+		}
+		nsegs := r.Int()
+		if err := r.Err(); err != nil {
+			return nil, err
+		}
+		if nsegs < 0 || nsegs > r.Remaining()+1 {
+			return nil, fmt.Errorf("%w: node %d has %d segrefs", ErrGraphCorrupt, i, nsegs)
+		}
+		nodes[i].SegRefs = make([]SegPtr, nsegs)
+		for j := range nodes[i].SegRefs {
+			nodes[i].SegRefs[j] = SegPtr{Segment: SegID(r.U32()), Offset: r.Int()}
+		}
+	}
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	return nodes[0], nil
+}
+
+// GraphSize counts the nodes reachable from root (diagnostics and tests).
+func GraphSize(root *Node) int {
+	seen := map[*Node]bool{}
+	var visit func(n *Node)
+	visit = func(n *Node) {
+		if n == nil || seen[n] {
+			return
+		}
+		seen[n] = true
+		for _, r := range n.Refs {
+			visit(r)
+		}
+	}
+	visit(root)
+	return len(seen)
+}

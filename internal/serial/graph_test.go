@@ -1,0 +1,180 @@
+package serial
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func roundTripGraph(t *testing.T, root *Node) *Node {
+	t.Helper()
+	w := NewWriter(0)
+	EncodeGraph(w, root)
+	got, err := DecodeGraph(NewReader(w.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return got
+}
+
+func TestGraphNilRoot(t *testing.T) {
+	if got := roundTripGraph(t, nil); got != nil {
+		t.Fatalf("nil graph decoded to %+v", got)
+	}
+}
+
+func TestGraphLinear(t *testing.T) {
+	c := &Node{Payload: []byte("c")}
+	b := &Node{Payload: []byte("b"), Refs: []*Node{c}}
+	a := &Node{Payload: []byte("a"), Refs: []*Node{b}}
+	got := roundTripGraph(t, a)
+	if string(got.Payload) != "a" || string(got.Refs[0].Payload) != "b" ||
+		string(got.Refs[0].Refs[0].Payload) != "c" {
+		t.Fatal("linear chain mangled")
+	}
+}
+
+func TestGraphSharedSubstructureTransmittedOnce(t *testing.T) {
+	shared := &Node{Payload: make([]byte, 1000)}
+	root := &Node{Refs: []*Node{
+		{Payload: []byte("l"), Refs: []*Node{shared}},
+		{Payload: []byte("r"), Refs: []*Node{shared}},
+	}}
+	w := NewWriter(0)
+	EncodeGraph(w, root)
+	// 4 nodes total; the 1000-byte payload must appear once, so the
+	// encoding stays well under 2 copies.
+	if w.Len() > 1500 {
+		t.Fatalf("shared node duplicated: %d bytes", w.Len())
+	}
+	got := roundTripGraph(t, root)
+	if got.Refs[0].Refs[0] != got.Refs[1].Refs[0] {
+		t.Fatal("decoded sharing lost: subtrees no longer alias")
+	}
+}
+
+func TestGraphCycle(t *testing.T) {
+	a := &Node{Payload: []byte("a")}
+	b := &Node{Payload: []byte("b"), Refs: []*Node{a}}
+	a.Refs = []*Node{b} // a ↔ b
+	got := roundTripGraph(t, a)
+	if string(got.Payload) != "a" || string(got.Refs[0].Payload) != "b" {
+		t.Fatal("cycle payloads wrong")
+	}
+	if got.Refs[0].Refs[0] != got {
+		t.Fatal("cycle not rebuilt")
+	}
+	if GraphSize(got) != 2 {
+		t.Fatalf("cycle size = %d", GraphSize(got))
+	}
+}
+
+func TestGraphSelfLoopAndNilRef(t *testing.T) {
+	a := &Node{Payload: []byte("self")}
+	a.Refs = []*Node{a, nil}
+	got := roundTripGraph(t, a)
+	if got.Refs[0] != got {
+		t.Fatal("self loop lost")
+	}
+	if got.Refs[1] != nil {
+		t.Fatal("nil ref not preserved")
+	}
+}
+
+func TestGraphSegRefs(t *testing.T) {
+	table := NewSegmentTable()
+	globals := []float64{1.5, 2.5, 3.5}
+	id := table.Register(globals)
+
+	n := &Node{SegRefs: []SegPtr{{Segment: id, Offset: 2}}}
+	got := roundTripGraph(t, n)
+	v, err := table.Resolve(got.SegRefs[0])
+	if err != nil || v != 3.5 {
+		t.Fatalf("resolve = %v, %v", v, err)
+	}
+}
+
+func TestSegmentTableErrors(t *testing.T) {
+	table := NewSegmentTable()
+	id := table.Register([]float64{1})
+	if _, err := table.Resolve(SegPtr{Segment: id + 9, Offset: 0}); err == nil {
+		t.Fatal("unknown segment resolved")
+	}
+	if _, err := table.Resolve(SegPtr{Segment: id, Offset: 5}); err == nil {
+		t.Fatal("out-of-range offset resolved")
+	}
+	if _, err := table.Resolve(SegPtr{Segment: id, Offset: -1}); err == nil {
+		t.Fatal("negative offset resolved")
+	}
+}
+
+func TestGraphCorruptHeaders(t *testing.T) {
+	// Claimed node count larger than the buffer must fail cleanly.
+	w := NewWriter(0)
+	w.Int(1 << 40)
+	if _, err := DecodeGraph(NewReader(w.Bytes())); err == nil {
+		t.Fatal("absurd node count decoded")
+	}
+	// Reference to an out-of-range id.
+	w = NewWriter(0)
+	w.Int(1)        // one node
+	w.RawBytes(nil) // payload
+	w.Int(1)        // one ref
+	w.Int(7)        // → node 7 (nonexistent)
+	w.Int(0)        // no segrefs
+	if _, err := DecodeGraph(NewReader(w.Bytes())); err == nil {
+		t.Fatal("dangling reference decoded")
+	}
+	// Truncated stream.
+	w2 := NewWriter(0)
+	a := &Node{Payload: []byte("abcdef"), Refs: []*Node{{Payload: []byte("x")}}}
+	EncodeGraph(w2, a)
+	full := w2.Bytes()
+	if _, err := DecodeGraph(NewReader(full[:len(full)-3])); err == nil {
+		t.Fatal("truncated graph decoded")
+	}
+}
+
+// Property: random DAGs round-trip with identical shape (sizes, payloads,
+// reference structure by id).
+func TestGraphRandomDAGRoundTrip(t *testing.T) {
+	prop := func(payloads [][]byte, edges []uint16) bool {
+		if len(payloads) == 0 {
+			return true
+		}
+		if len(payloads) > 40 {
+			payloads = payloads[:40]
+		}
+		nodes := make([]*Node, len(payloads))
+		for i, p := range payloads {
+			nodes[i] = &Node{Payload: p}
+		}
+		// Add forward edges (DAG) plus some back edges (cycles) from the
+		// random edge list.
+		for _, e := range edges {
+			from := int(e>>8) % len(nodes)
+			to := int(e&0xff) % len(nodes)
+			nodes[from].Refs = append(nodes[from].Refs, nodes[to])
+		}
+		root := &Node{Refs: nodes}
+		got := roundTripGraph(t, root)
+		if GraphSize(got) != GraphSize(root) {
+			return false
+		}
+		if len(got.Refs) != len(nodes) {
+			return false
+		}
+		for i := range nodes {
+			if string(got.Refs[i].Payload) != string(nodes[i].Payload) {
+				return false
+			}
+			if len(got.Refs[i].Refs) != len(nodes[i].Refs) {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 50}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

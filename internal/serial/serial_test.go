@@ -1,0 +1,166 @@
+package serial
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPrimitiveRoundTrip(t *testing.T) {
+	w := NewWriter(0)
+	w.U8(200)
+	w.Bool(true)
+	w.Bool(false)
+	w.U32(0xDEADBEEF)
+	w.U64(1 << 60)
+	w.Int(-42)
+	w.F64(math.Pi)
+	w.F32(2.5)
+	w.String("héllo")
+	w.RawBytes([]byte{1, 2, 3})
+
+	r := NewReader(w.Bytes())
+	if r.U8() != 200 || !r.Bool() || r.Bool() {
+		t.Fatal("u8/bool wrong")
+	}
+	if r.U32() != 0xDEADBEEF || r.U64() != 1<<60 || r.Int() != -42 {
+		t.Fatal("ints wrong")
+	}
+	if r.F64() != math.Pi || r.F32() != 2.5 {
+		t.Fatal("floats wrong")
+	}
+	if r.String() != "héllo" {
+		t.Fatal("string wrong")
+	}
+	b := r.RawBytes()
+	if len(b) != 3 || b[2] != 3 {
+		t.Fatalf("raw = %v", b)
+	}
+	if r.Err() != nil || r.Remaining() != 0 {
+		t.Fatalf("err=%v remaining=%d", r.Err(), r.Remaining())
+	}
+}
+
+func TestShortBufferSticky(t *testing.T) {
+	r := NewReader([]byte{1, 2})
+	if r.U64() != 0 {
+		t.Fatal("short read returned nonzero")
+	}
+	if !errors.Is(r.Err(), ErrShortBuffer) {
+		t.Fatalf("err = %v", r.Err())
+	}
+	// sticky: subsequent reads stay zero, error unchanged
+	first := r.Err()
+	if r.Int() != 0 || r.Err() != first {
+		t.Fatal("error not sticky")
+	}
+}
+
+func TestSliceRoundTrips(t *testing.T) {
+	w := NewWriter(0)
+	f64 := []float64{1.5, -2.25, math.Inf(1), 0}
+	f32 := []float32{1, 2, 3}
+	i64 := []int64{-1, 0, 1 << 40}
+	ints := []int{5, -6}
+	w.F64Slice(f64)
+	w.F32Slice(f32)
+	w.I64Slice(i64)
+	w.IntSlice(ints)
+
+	r := NewReader(w.Bytes())
+	gf64 := r.F64Slice()
+	gf32 := r.F32Slice()
+	gi64 := r.I64Slice()
+	gints := r.IntSlice()
+	if r.Err() != nil {
+		t.Fatal(r.Err())
+	}
+	for i, v := range f64 {
+		if gf64[i] != v {
+			t.Fatalf("f64[%d] = %v", i, gf64[i])
+		}
+	}
+	for i, v := range f32 {
+		if gf32[i] != v {
+			t.Fatalf("f32[%d] = %v", i, gf32[i])
+		}
+	}
+	for i, v := range i64 {
+		if gi64[i] != v {
+			t.Fatalf("i64[%d] = %v", i, gi64[i])
+		}
+	}
+	for i, v := range ints {
+		if gints[i] != v {
+			t.Fatalf("ints[%d] = %v", i, gints[i])
+		}
+	}
+}
+
+func TestEmptySlices(t *testing.T) {
+	w := NewWriter(0)
+	w.F64Slice(nil)
+	w.IntSlice([]int{})
+	r := NewReader(w.Bytes())
+	if got := r.F64Slice(); len(got) != 0 {
+		t.Fatalf("empty f64 = %v", got)
+	}
+	if got := r.IntSlice(); len(got) != 0 {
+		t.Fatalf("empty ints = %v", got)
+	}
+	if r.Err() != nil {
+		t.Fatal(r.Err())
+	}
+}
+
+func TestWriterReset(t *testing.T) {
+	w := NewWriter(8)
+	w.Int(7)
+	w.Reset()
+	if w.Len() != 0 {
+		t.Fatal("Reset did not clear")
+	}
+	w.Int(9)
+	if NewReader(w.Bytes()).Int() != 9 {
+		t.Fatal("write after Reset wrong")
+	}
+}
+
+// Property: F64Slice round-trips bit-exactly, including NaN payloads.
+func TestF64SliceRoundTripProperty(t *testing.T) {
+	prop := func(bits []uint64) bool {
+		xs := make([]float64, len(bits))
+		for i, b := range bits {
+			xs[i] = math.Float64frombits(b)
+		}
+		w := NewWriter(0)
+		w.F64Slice(xs)
+		got := NewReader(w.Bytes()).F64Slice()
+		if len(got) != len(xs) {
+			return false
+		}
+		for i := range got {
+			if math.Float64bits(got[i]) != bits[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTruncatedSliceFails(t *testing.T) {
+	w := NewWriter(0)
+	w.F64Slice([]float64{1, 2, 3})
+	full := w.Bytes()
+	r := NewReader(full[:len(full)-4])
+	if got := r.F64Slice(); got != nil {
+		t.Fatalf("truncated decode returned %v", got)
+	}
+	if r.Err() == nil {
+		t.Fatal("no error on truncation")
+	}
+}

@@ -1,0 +1,141 @@
+package trace
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilTracerIsNoOp(t *testing.T) {
+	var tr *Tracer
+	end := tr.Begin(0, "x") // must not panic
+	end()
+	tr.Instant(0, "y", 10)
+	if tr.Events() != nil {
+		t.Fatal("nil tracer produced events")
+	}
+}
+
+func TestBeginEndPairsIntoSpans(t *testing.T) {
+	tr := New()
+	end := tr.Begin(1, "kernel")
+	time.Sleep(2 * time.Millisecond)
+	end()
+	spans := tr.Spans()
+	if len(spans) != 1 {
+		t.Fatalf("spans = %v", spans)
+	}
+	s := spans[0]
+	if s.Rank != 1 || s.Phase != "kernel" || s.Dur <= 0 {
+		t.Fatalf("span = %+v", s)
+	}
+}
+
+func TestNestedSameName(t *testing.T) {
+	tr := New()
+	outer := tr.Begin(0, "p")
+	inner := tr.Begin(0, "p")
+	inner()
+	outer()
+	spans := tr.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("spans = %v", spans)
+	}
+	// Inner closes first: its duration must not exceed the outer's.
+	var durs []time.Duration
+	for _, s := range spans {
+		durs = append(durs, s.Dur)
+	}
+	if durs[0] < 0 || durs[1] < 0 {
+		t.Fatal("negative duration")
+	}
+}
+
+func TestUnmatchedEventsIgnored(t *testing.T) {
+	tr := New()
+	tr.record(Event{Rank: 0, Phase: "dangling", Kind: KindEnd, At: time.Millisecond})
+	_ = tr.Begin(0, "open") // never closed
+	if len(tr.Spans()) != 0 {
+		t.Fatalf("spans from unmatched events: %v", tr.Spans())
+	}
+}
+
+func TestPhaseTotalsAndBytes(t *testing.T) {
+	tr := New()
+	for range 3 {
+		end := tr.Begin(0, "a")
+		end()
+	}
+	tr.Instant(0, "net", 100)
+	tr.Instant(1, "net", 50)
+	if tr.PhaseBytes()["net"] != 150 {
+		t.Fatalf("bytes = %v", tr.PhaseBytes())
+	}
+	if _, ok := tr.PhaseTotals()["a"]; !ok {
+		t.Fatalf("totals = %v", tr.PhaseTotals())
+	}
+}
+
+func TestSummaryAndGantt(t *testing.T) {
+	tr := New()
+	endA := tr.Begin(0, "kernel")
+	endB := tr.Begin(1, "scatter")
+	time.Sleep(time.Millisecond)
+	endB()
+	endA()
+	tr.Instant(0, "net", 4096)
+
+	sum := tr.Summary()
+	if !strings.Contains(sum, "kernel") || !strings.Contains(sum, "4096 bytes") {
+		t.Fatalf("summary:\n%s", sum)
+	}
+	g := tr.Gantt(40)
+	if !strings.Contains(g, "rank  0") || !strings.Contains(g, "rank  1") {
+		t.Fatalf("gantt:\n%s", g)
+	}
+	if !strings.Contains(g, "k") || !strings.Contains(g, "s") {
+		t.Fatalf("gantt missing phase letters:\n%s", g)
+	}
+}
+
+func TestGanttEmpty(t *testing.T) {
+	if got := New().Gantt(10); !strings.Contains(got, "no spans") {
+		t.Fatalf("empty gantt = %q", got)
+	}
+}
+
+func TestConcurrentRecording(t *testing.T) {
+	tr := New()
+	var wg sync.WaitGroup
+	for r := range 8 {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for range 50 {
+				end := tr.Begin(r, "work")
+				tr.Instant(r, "msg", 1)
+				end()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := len(tr.Spans()); got != 400 {
+		t.Fatalf("spans = %d", got)
+	}
+	if tr.PhaseBytes()["msg"] != 400 {
+		t.Fatalf("bytes = %v", tr.PhaseBytes())
+	}
+}
+
+func TestSpansSorted(t *testing.T) {
+	tr := New()
+	e2 := tr.Begin(2, "b")
+	e0 := tr.Begin(0, "a")
+	e0()
+	e2()
+	spans := tr.Spans()
+	if spans[0].Rank != 0 || spans[1].Rank != 2 {
+		t.Fatalf("spans unsorted: %v", spans)
+	}
+}

@@ -1,0 +1,120 @@
+package transport
+
+import (
+	"testing"
+	"time"
+)
+
+func TestDelayHoldsMessages(t *testing.T) {
+	f := New(Config{Ranks: 2, Delay: &DelayConfig{Latency: 30 * time.Millisecond}})
+	defer f.Close()
+	start := time.Now()
+	if err := f.Send(0, 1, 0, []byte("held")); err != nil {
+		t.Fatal(err)
+	}
+	// Immediately after the send, nothing is receivable.
+	if _, ok, _ := f.TryRecv(1, AnySource, AnyTag); ok {
+		t.Fatal("message receivable before its delay elapsed")
+	}
+	m, err := f.Recv(1, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 25*time.Millisecond {
+		t.Fatalf("message arrived after %v, want ≥ ~30ms", elapsed)
+	}
+	if string(m.Payload) != "held" {
+		t.Fatalf("payload = %q", m.Payload)
+	}
+}
+
+func TestDelayBandwidthComponent(t *testing.T) {
+	// 1 KB at 100 KB/s → 10 ms of wire time.
+	f := New(Config{Ranks: 2, Delay: &DelayConfig{BytesPerSec: 100 * 1024}})
+	defer f.Close()
+	start := time.Now()
+	if err := f.Send(0, 1, 0, make([]byte, 1024)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Recv(1, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 8*time.Millisecond {
+		t.Fatalf("1KB at 100KB/s arrived after %v", elapsed)
+	}
+}
+
+func TestDelayPreservesPerEdgeOrder(t *testing.T) {
+	// A large message followed by a small one on the same edge must still
+	// arrive in send order (non-overtaking), even though the small one's
+	// wire time alone would finish first.
+	f := New(Config{Ranks: 2, Delay: &DelayConfig{BytesPerSec: 1024 * 1024}})
+	defer f.Close()
+	if err := f.Send(0, 1, 7, make([]byte, 64*1024)); err != nil { // ~62ms
+		t.Fatal(err)
+	}
+	if err := f.Send(0, 1, 7, []byte{1}); err != nil { // ~1µs
+		t.Fatal(err)
+	}
+	m1, err := f.Recv(1, 0, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := f.Recv(1, 0, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m1.Payload) != 64*1024 || len(m2.Payload) != 1 {
+		t.Fatalf("messages overtook: got %d then %d bytes", len(m1.Payload), len(m2.Payload))
+	}
+}
+
+func TestDelayIndependentEdges(t *testing.T) {
+	// A slow message on one edge must not delay another edge.
+	f := New(Config{Ranks: 3, Delay: &DelayConfig{BytesPerSec: 64 * 1024}})
+	defer f.Close()
+	if err := f.Send(0, 1, 0, make([]byte, 32*1024)); err != nil { // ~500ms on edge 0→1
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if err := f.Send(2, 1, 0, []byte{9}); err != nil { // tiny on edge 2→1
+		t.Fatal(err)
+	}
+	if _, err := f.Recv(1, 2, 0); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 200*time.Millisecond {
+		t.Fatalf("independent edge blocked for %v", elapsed)
+	}
+}
+
+func TestDelayedDeliveryToClosedFabricDrops(t *testing.T) {
+	f := New(Config{Ranks: 2, Delay: &DelayConfig{Latency: 20 * time.Millisecond}})
+	if err := f.Send(0, 1, 0, []byte("doomed")); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	// The delayed delivery lands on a closed mailbox and is dropped; the
+	// delayer goroutine must still terminate.
+	f.delay.Wait()
+}
+
+func TestDelayedSendToClosedFabricErrors(t *testing.T) {
+	f := New(Config{Ranks: 2, Delay: &DelayConfig{Latency: time.Millisecond}})
+	f.Close()
+	if err := f.Send(0, 1, 0, []byte("x")); err == nil {
+		t.Fatal("delayed send to closed fabric succeeded")
+	}
+}
+
+func TestDelayStatsCountAtSendTime(t *testing.T) {
+	f := New(Config{Ranks: 2, Delay: &DelayConfig{Latency: 50 * time.Millisecond}})
+	defer f.Close()
+	if err := f.Send(0, 1, 0, make([]byte, 100)); err != nil {
+		t.Fatal(err)
+	}
+	// Metering is at send time, before delivery.
+	if s := f.Stats(); s.Bytes != 100 || s.Messages != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}

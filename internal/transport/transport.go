@@ -1,0 +1,270 @@
+// Package transport implements the virtual cluster's network fabric: the
+// only channel through which simulated nodes may communicate. Messages are
+// byte payloads (produced by internal/serial) addressed by (rank, tag) with
+// MPI-style matching semantics. The fabric copies every payload, so nodes
+// cannot share memory through it — preserving the distributed-memory
+// discipline the paper's runtime is built around even though all ranks run
+// in one OS process.
+//
+// The fabric also meters traffic (message and byte counts per rank) and
+// supports a configurable maximum message size, which the Eden baseline
+// uses to reproduce the paper's §4.3 failure: "the array data is too large
+// for Eden's message-passing runtime to buffer".
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// AnySource matches a message from any sender in Recv.
+const AnySource = -1
+
+// AnyTag matches a message with any tag in Recv.
+const AnyTag = -1
+
+// ErrClosed is reported by operations on a closed fabric.
+var ErrClosed = errors.New("transport: fabric closed")
+
+// ErrMessageTooLarge is reported when a payload exceeds the fabric's
+// configured maximum message size.
+var ErrMessageTooLarge = errors.New("transport: message exceeds buffer limit")
+
+// Config describes a fabric.
+type Config struct {
+	// Ranks is the number of endpoints (cluster nodes).
+	Ranks int
+	// MaxMessageBytes caps individual payload size; 0 means unlimited.
+	// The paper's Eden runtime has a finite buffer; setting this models it.
+	MaxMessageBytes int
+	// Delay, when non-nil, holds every message for latency + size/bandwidth
+	// before it becomes receivable (see DelayConfig), so real executions
+	// exhibit genuine communication time rather than instant delivery.
+	Delay *DelayConfig
+}
+
+// Message is one delivered payload.
+type Message struct {
+	Src, Tag int
+	Payload  []byte
+}
+
+type mailbox struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []Message
+	closed bool
+}
+
+// Stats are cumulative traffic counters, readable while the fabric runs.
+type Stats struct {
+	Messages  int64
+	Bytes     int64
+	SentBytes []int64 // per source rank
+	RecvBytes []int64 // per destination rank
+}
+
+// Fabric connects Ranks endpoints. All methods are safe for concurrent use.
+type Fabric struct {
+	cfg       Config
+	boxes     []*mailbox
+	delay     *delayer
+	messages  atomic.Int64
+	bytes     atomic.Int64
+	sentBytes []atomic.Int64
+	recvBytes []atomic.Int64
+}
+
+// New creates a fabric with the given configuration.
+func New(cfg Config) *Fabric {
+	if cfg.Ranks <= 0 {
+		panic(fmt.Sprintf("transport: %d ranks", cfg.Ranks))
+	}
+	f := &Fabric{
+		cfg:       cfg,
+		boxes:     make([]*mailbox, cfg.Ranks),
+		sentBytes: make([]atomic.Int64, cfg.Ranks),
+		recvBytes: make([]atomic.Int64, cfg.Ranks),
+	}
+	for i := range f.boxes {
+		mb := &mailbox{}
+		mb.cond = sync.NewCond(&mb.mu)
+		f.boxes[i] = mb
+	}
+	if cfg.Delay != nil {
+		f.delay = newDelayer(*cfg.Delay, f)
+	}
+	return f
+}
+
+// Ranks reports the number of endpoints.
+func (f *Fabric) Ranks() int { return f.cfg.Ranks }
+
+// Send delivers payload to dst with the given tag. The payload is copied;
+// the caller may reuse its buffer immediately. Send does not block (the
+// fabric buffers), matching MPI's buffered-send semantics that the paper's
+// runtime relies on; flow control is the application's concern.
+func (f *Fabric) Send(src, dst, tag int, payload []byte) error {
+	if src < 0 || src >= f.cfg.Ranks || dst < 0 || dst >= f.cfg.Ranks {
+		return fmt.Errorf("transport: send %d→%d out of range", src, dst)
+	}
+	if f.cfg.MaxMessageBytes > 0 && len(payload) > f.cfg.MaxMessageBytes {
+		return fmt.Errorf("%w: %d bytes > limit %d", ErrMessageTooLarge, len(payload), f.cfg.MaxMessageBytes)
+	}
+	cp := make([]byte, len(payload))
+	copy(cp, payload)
+
+	f.messages.Add(1)
+	f.bytes.Add(int64(len(payload)))
+	f.sentBytes[src].Add(int64(len(payload)))
+	f.recvBytes[dst].Add(int64(len(payload)))
+
+	if f.delay != nil {
+		// Fail fast on an already-closed fabric so delayed sends report
+		// ErrClosed like direct sends do; a close racing the delivery
+		// still drops the message at deliver time.
+		mb := f.boxes[dst]
+		mb.mu.Lock()
+		closed := mb.closed
+		mb.mu.Unlock()
+		if closed {
+			return ErrClosed
+		}
+		f.delay.submit(src, dst, tag, cp)
+		return nil
+	}
+	return f.deliver(src, dst, tag, cp)
+}
+
+// deliver places an already-copied, already-metered payload into dst's
+// mailbox. Delayed deliveries to a closed fabric are dropped.
+func (f *Fabric) deliver(src, dst, tag int, payload []byte) error {
+	mb := f.boxes[dst]
+	mb.mu.Lock()
+	if mb.closed {
+		mb.mu.Unlock()
+		return ErrClosed
+	}
+	mb.queue = append(mb.queue, Message{Src: src, Tag: tag, Payload: payload})
+	mb.cond.Broadcast()
+	mb.mu.Unlock()
+	return nil
+}
+
+// Recv blocks until a message matching (src, tag) arrives at dst and
+// returns it. src may be AnySource and tag may be AnyTag. Matching picks
+// the earliest queued message, so messages between one (src, dst, tag)
+// triple are received in send order (MPI's non-overtaking rule).
+func (f *Fabric) Recv(dst, src, tag int) (Message, error) {
+	if dst < 0 || dst >= f.cfg.Ranks {
+		return Message{}, fmt.Errorf("transport: recv at rank %d out of range", dst)
+	}
+	mb := f.boxes[dst]
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	for {
+		for i, m := range mb.queue {
+			if (src == AnySource || m.Src == src) && (tag == AnyTag || m.Tag == tag) {
+				mb.queue = append(mb.queue[:i], mb.queue[i+1:]...)
+				return m, nil
+			}
+		}
+		if mb.closed {
+			return Message{}, ErrClosed
+		}
+		mb.cond.Wait()
+	}
+}
+
+// TryRecv is the non-blocking variant of Recv. ok is false when no matching
+// message is queued.
+func (f *Fabric) TryRecv(dst, src, tag int) (Message, bool, error) {
+	if dst < 0 || dst >= f.cfg.Ranks {
+		return Message{}, false, fmt.Errorf("transport: recv at rank %d out of range", dst)
+	}
+	mb := f.boxes[dst]
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	for i, m := range mb.queue {
+		if (src == AnySource || m.Src == src) && (tag == AnyTag || m.Tag == tag) {
+			mb.queue = append(mb.queue[:i], mb.queue[i+1:]...)
+			return m, true, nil
+		}
+	}
+	if mb.closed {
+		return Message{}, false, ErrClosed
+	}
+	return Message{}, false, nil
+}
+
+// Close shuts the fabric down: pending and future Recvs return ErrClosed.
+func (f *Fabric) Close() {
+	for _, mb := range f.boxes {
+		mb.mu.Lock()
+		mb.closed = true
+		mb.cond.Broadcast()
+		mb.mu.Unlock()
+	}
+}
+
+// Stats returns a snapshot of cumulative traffic counters.
+func (f *Fabric) Stats() Stats {
+	s := Stats{
+		Messages:  f.messages.Load(),
+		Bytes:     f.bytes.Load(),
+		SentBytes: make([]int64, f.cfg.Ranks),
+		RecvBytes: make([]int64, f.cfg.Ranks),
+	}
+	for i := range s.SentBytes {
+		s.SentBytes[i] = f.sentBytes[i].Load()
+		s.RecvBytes[i] = f.recvBytes[i].Load()
+	}
+	return s
+}
+
+// ResetStats zeroes the traffic counters (between experiment phases).
+func (f *Fabric) ResetStats() {
+	f.messages.Store(0)
+	f.bytes.Store(0)
+	for i := range f.sentBytes {
+		f.sentBytes[i].Store(0)
+		f.recvBytes[i].Store(0)
+	}
+}
+
+// Endpoint binds a rank to the fabric for convenience.
+type Endpoint struct {
+	f    *Fabric
+	rank int
+}
+
+// Endpoint returns rank's bound endpoint.
+func (f *Fabric) Endpoint(rank int) *Endpoint {
+	if rank < 0 || rank >= f.cfg.Ranks {
+		panic(fmt.Sprintf("transport: endpoint rank %d out of range", rank))
+	}
+	return &Endpoint{f: f, rank: rank}
+}
+
+// Rank reports the endpoint's rank.
+func (e *Endpoint) Rank() int { return e.rank }
+
+// Ranks reports the fabric size.
+func (e *Endpoint) Ranks() int { return e.f.Ranks() }
+
+// Send delivers payload to dst with the given tag.
+func (e *Endpoint) Send(dst, tag int, payload []byte) error {
+	return e.f.Send(e.rank, dst, tag, payload)
+}
+
+// Recv blocks for a matching message addressed to this endpoint.
+func (e *Endpoint) Recv(src, tag int) (Message, error) {
+	return e.f.Recv(e.rank, src, tag)
+}
+
+// TryRecv is the non-blocking receive at this endpoint.
+func (e *Endpoint) TryRecv(src, tag int) (Message, bool, error) {
+	return e.f.TryRecv(e.rank, src, tag)
+}

@@ -1,0 +1,277 @@
+package transport
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+func TestSendRecvBasic(t *testing.T) {
+	f := New(Config{Ranks: 2})
+	defer f.Close()
+	if err := f.Send(0, 1, 7, []byte("hi")); err != nil {
+		t.Fatal(err)
+	}
+	m, err := f.Recv(1, 0, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Src != 0 || m.Tag != 7 || string(m.Payload) != "hi" {
+		t.Fatalf("msg = %+v", m)
+	}
+}
+
+func TestPayloadIsCopied(t *testing.T) {
+	f := New(Config{Ranks: 2})
+	defer f.Close()
+	buf := []byte{1, 2, 3}
+	if err := f.Send(0, 1, 0, buf); err != nil {
+		t.Fatal(err)
+	}
+	buf[0] = 99 // mutate after send: receiver must not observe it
+	m, err := f.Recv(1, AnySource, AnyTag)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Payload[0] != 1 {
+		t.Fatal("payload aliased sender buffer: shared-memory leak across nodes")
+	}
+}
+
+func TestTagMatching(t *testing.T) {
+	f := New(Config{Ranks: 2})
+	defer f.Close()
+	if err := f.Send(0, 1, 5, []byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Send(0, 1, 6, []byte("b")); err != nil {
+		t.Fatal(err)
+	}
+	// Receive tag 6 first even though tag 5 arrived first.
+	m, err := f.Recv(1, 0, 6)
+	if err != nil || string(m.Payload) != "b" {
+		t.Fatalf("tag 6 got %+v err %v", m, err)
+	}
+	m, err = f.Recv(1, 0, 5)
+	if err != nil || string(m.Payload) != "a" {
+		t.Fatalf("tag 5 got %+v err %v", m, err)
+	}
+}
+
+func TestSourceMatching(t *testing.T) {
+	f := New(Config{Ranks: 3})
+	defer f.Close()
+	if err := f.Send(1, 0, 0, []byte("from1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Send(2, 0, 0, []byte("from2")); err != nil {
+		t.Fatal(err)
+	}
+	m, err := f.Recv(0, 2, AnyTag)
+	if err != nil || string(m.Payload) != "from2" {
+		t.Fatalf("src 2 got %+v err %v", m, err)
+	}
+	m, err = f.Recv(0, AnySource, AnyTag)
+	if err != nil || string(m.Payload) != "from1" {
+		t.Fatalf("any src got %+v err %v", m, err)
+	}
+}
+
+func TestNonOvertaking(t *testing.T) {
+	f := New(Config{Ranks: 2})
+	defer f.Close()
+	for i := range 10 {
+		if err := f.Send(0, 1, 3, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := range 10 {
+		m, err := f.Recv(1, 0, 3)
+		if err != nil || m.Payload[0] != byte(i) {
+			t.Fatalf("message %d out of order: %+v err %v", i, m, err)
+		}
+	}
+}
+
+func TestBlockingRecvWakesOnSend(t *testing.T) {
+	f := New(Config{Ranks: 2})
+	defer f.Close()
+	done := make(chan Message, 1)
+	go func() {
+		m, err := f.Recv(1, 0, 9)
+		if err != nil {
+			t.Error(err)
+		}
+		done <- m
+	}()
+	if err := f.Send(0, 1, 9, []byte("wake")); err != nil {
+		t.Fatal(err)
+	}
+	m := <-done
+	if string(m.Payload) != "wake" {
+		t.Fatalf("got %+v", m)
+	}
+}
+
+func TestTryRecv(t *testing.T) {
+	f := New(Config{Ranks: 2})
+	defer f.Close()
+	if _, ok, err := f.TryRecv(1, AnySource, AnyTag); ok || err != nil {
+		t.Fatalf("empty TryRecv: ok=%v err=%v", ok, err)
+	}
+	if err := f.Send(0, 1, 1, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	m, ok, err := f.TryRecv(1, AnySource, AnyTag)
+	if !ok || err != nil || string(m.Payload) != "x" {
+		t.Fatalf("TryRecv = %+v ok=%v err=%v", m, ok, err)
+	}
+}
+
+func TestMessageSizeLimit(t *testing.T) {
+	f := New(Config{Ranks: 2, MaxMessageBytes: 4})
+	defer f.Close()
+	if err := f.Send(0, 1, 0, []byte("1234")); err != nil {
+		t.Fatalf("at-limit send failed: %v", err)
+	}
+	err := f.Send(0, 1, 0, []byte("12345"))
+	if !errors.Is(err, ErrMessageTooLarge) {
+		t.Fatalf("over-limit err = %v", err)
+	}
+}
+
+func TestCloseUnblocksRecv(t *testing.T) {
+	f := New(Config{Ranks: 1})
+	errs := make(chan error, 1)
+	go func() {
+		_, err := f.Recv(0, AnySource, AnyTag)
+		errs <- err
+	}()
+	f.Close()
+	if err := <-errs; !errors.Is(err, ErrClosed) {
+		t.Fatalf("recv after close: %v", err)
+	}
+	if err := f.Send(0, 0, 0, nil); !errors.Is(err, ErrClosed) {
+		t.Fatalf("send after close: %v", err)
+	}
+}
+
+func TestOutOfRangeErrors(t *testing.T) {
+	f := New(Config{Ranks: 2})
+	defer f.Close()
+	if err := f.Send(0, 5, 0, nil); err == nil {
+		t.Fatal("send to rank 5 succeeded")
+	}
+	if err := f.Send(-1, 0, 0, nil); err == nil {
+		t.Fatal("send from rank -1 succeeded")
+	}
+	if _, err := f.Recv(9, AnySource, AnyTag); err == nil {
+		t.Fatal("recv at rank 9 succeeded")
+	}
+	if _, _, err := f.TryRecv(9, AnySource, AnyTag); err == nil {
+		t.Fatal("tryrecv at rank 9 succeeded")
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	f := New(Config{Ranks: 3})
+	defer f.Close()
+	if err := f.Send(0, 1, 0, make([]byte, 100)); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Send(2, 1, 0, make([]byte, 50)); err != nil {
+		t.Fatal(err)
+	}
+	s := f.Stats()
+	if s.Messages != 2 || s.Bytes != 150 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if s.SentBytes[0] != 100 || s.SentBytes[2] != 50 || s.RecvBytes[1] != 150 {
+		t.Fatalf("per-rank stats = %+v", s)
+	}
+	f.ResetStats()
+	if s := f.Stats(); s.Messages != 0 || s.Bytes != 0 || s.SentBytes[0] != 0 {
+		t.Fatalf("reset stats = %+v", s)
+	}
+}
+
+func TestEndpointWrapper(t *testing.T) {
+	f := New(Config{Ranks: 2})
+	defer f.Close()
+	a, b := f.Endpoint(0), f.Endpoint(1)
+	if a.Rank() != 0 || b.Ranks() != 2 {
+		t.Fatal("endpoint identity wrong")
+	}
+	if err := a.Send(1, 4, []byte("ep")); err != nil {
+		t.Fatal(err)
+	}
+	m, err := b.Recv(0, 4)
+	if err != nil || string(m.Payload) != "ep" {
+		t.Fatalf("endpoint recv %+v err %v", m, err)
+	}
+	if _, ok, err := b.TryRecv(AnySource, AnyTag); ok || err != nil {
+		t.Fatal("endpoint TryRecv wrong")
+	}
+}
+
+func TestEndpointOutOfRangePanics(t *testing.T) {
+	f := New(Config{Ranks: 1})
+	defer f.Close()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	f.Endpoint(3)
+}
+
+func TestConcurrentStress(t *testing.T) {
+	const ranks = 4
+	const msgs = 200
+	f := New(Config{Ranks: ranks})
+	defer f.Close()
+	var wg sync.WaitGroup
+	// Every rank sends msgs messages to every other rank and receives from all.
+	for r := range ranks {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range msgs {
+				for dst := range ranks {
+					if dst == r {
+						continue
+					}
+					if err := f.Send(r, dst, 0, []byte{byte(i)}); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}()
+	}
+	recvTotals := make([]int, ranks)
+	var rg sync.WaitGroup
+	for r := range ranks {
+		rg.Add(1)
+		go func() {
+			defer rg.Done()
+			for range msgs * (ranks - 1) {
+				if _, err := f.Recv(r, AnySource, AnyTag); err != nil {
+					t.Error(err)
+					return
+				}
+				recvTotals[r]++
+			}
+		}()
+	}
+	wg.Wait()
+	rg.Wait()
+	for r, n := range recvTotals {
+		if n != msgs*(ranks-1) {
+			t.Fatalf("rank %d received %d", r, n)
+		}
+	}
+	if s := f.Stats(); s.Messages != int64(ranks*(ranks-1)*msgs) {
+		t.Fatalf("total messages %d", s.Messages)
+	}
+}
