@@ -1,0 +1,50 @@
+# Development entry points; CI (.github/workflows/ci.yml) runs the same
+# commands.
+
+GO ?= go
+
+.PHONY: build test race chaos fuzz bench bench-baseline lint vet all
+
+all: vet build test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race -count=1 ./internal/...
+
+# The fault-injection suites, run fresh (no test cache) with a deadline:
+# the failure mode they exist to catch is a hang.
+chaos:
+	$(GO) test -count=1 -timeout 5m \
+		-run 'Fault|Reliable|Chaos|Crash|Farm' \
+		./internal/transport/ ./internal/mpi/ ./internal/cluster/ \
+		./internal/parboil/sgemm/ ./internal/parboil/tpacf/
+
+# 30-second fuzz smoke over the wire-format decoders.
+fuzz:
+	$(GO) test -fuzz=FuzzSliceDecoders -fuzztime=30s ./internal/serial
+
+# Fused-pipeline regression gate against the checked-in baseline.
+bench:
+	$(GO) run ./cmd/triolet-bench -bench-gate -baseline BENCH_BASELINE.json
+
+# Re-measure and overwrite the baseline (run on a quiet machine, then
+# commit BENCH_BASELINE.json).
+bench-baseline:
+	$(GO) run ./cmd/triolet-bench -bench-gate -write-baseline BENCH_BASELINE.json
+
+# golangci-lint is optional locally; fall back to go vet when absent.
+lint:
+	@if command -v golangci-lint >/dev/null 2>&1; then \
+		golangci-lint run; \
+	else \
+		echo "golangci-lint not installed; running go vet"; \
+		$(GO) vet ./...; \
+	fi

@@ -1,0 +1,251 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"testing"
+
+	"triolet/internal/iter"
+)
+
+// Benchmark-regression gate. The fusion machinery's whole value proposition
+// (paper §5: skeleton pipelines compile to loops) is that a composed
+// pipeline costs about the same as the hand-written loop it replaces. The
+// gate measures that directly: each case runs a fused pipeline and its raw
+// loop twin and records the time ratio pipeline/raw. Ratios are
+// machine-independent — both sides run on the same box in the same process —
+// so a checked-in baseline stays meaningful across CI runners, where
+// absolute ns/op would not. CI fails when any ratio regresses more than 25%
+// over the baseline (see BENCH_BASELINE.json and the bench-gate CI job).
+
+// gateData is sized to dominate loop overhead without making runs slow.
+var gateData = func() []int64 {
+	xs := make([]int64, 1<<15)
+	for i := range xs {
+		xs[i] = int64(i % 1003)
+	}
+	return xs
+}()
+
+var gateSink int64
+
+type gateCase struct {
+	Name     string
+	Pipeline func(b *testing.B)
+	Raw      func(b *testing.B)
+}
+
+var gateCases = []gateCase{
+	{
+		Name: "sum-flat",
+		Pipeline: func(b *testing.B) {
+			it := iter.FromSlice(gateData)
+			for b.Loop() {
+				gateSink = iter.Sum(it)
+			}
+		},
+		Raw: func(b *testing.B) {
+			for b.Loop() {
+				var acc int64
+				for _, v := range gateData {
+					acc += v
+				}
+				gateSink = acc
+			}
+		},
+	},
+	{
+		Name: "map-map-sum",
+		Pipeline: func(b *testing.B) {
+			it := iter.Map(func(x int64) int64 { return x + 1 },
+				iter.Map(func(x int64) int64 { return x * 3 }, iter.FromSlice(gateData)))
+			for b.Loop() {
+				gateSink = iter.Sum(it)
+			}
+		},
+		Raw: func(b *testing.B) {
+			for b.Loop() {
+				var acc int64
+				for _, v := range gateData {
+					acc += v*3 + 1
+				}
+				gateSink = acc
+			}
+		},
+	},
+	{
+		Name: "filter-sum",
+		Pipeline: func(b *testing.B) {
+			it := iter.Filter(func(v int64) bool { return v%3 == 0 }, iter.FromSlice(gateData))
+			for b.Loop() {
+				gateSink = iter.Sum(it)
+			}
+		},
+		Raw: func(b *testing.B) {
+			for b.Loop() {
+				var acc int64
+				for _, v := range gateData {
+					if v%3 == 0 {
+						acc += v
+					}
+				}
+				gateSink = acc
+			}
+		},
+	},
+	{
+		Name: "zipwith-sum",
+		Pipeline: func(b *testing.B) {
+			it := iter.ZipWith(func(a, b int64) int64 { return a * b },
+				iter.FromSlice(gateData), iter.FromSlice(gateData))
+			for b.Loop() {
+				gateSink = iter.Sum(it)
+			}
+		},
+		Raw: func(b *testing.B) {
+			for b.Loop() {
+				var acc int64
+				for i, v := range gateData {
+					acc += v * gateData[i]
+				}
+				gateSink = acc
+			}
+		},
+	},
+	{
+		Name: "histogram",
+		Pipeline: func(b *testing.B) {
+			it := iter.Map(func(v int64) int { return int(v % 64) }, iter.FromSlice(gateData))
+			for b.Loop() {
+				gateSink = iter.Histogram(64, it)[7]
+			}
+		},
+		Raw: func(b *testing.B) {
+			for b.Loop() {
+				var bins [64]int64
+				for _, v := range gateData {
+					bins[v%64]++
+				}
+				gateSink = bins[7]
+			}
+		},
+	},
+}
+
+// gateResult is one case's measurement. Only Ratio is gated; the absolute
+// times are informational (they vary with the machine).
+type gateResult struct {
+	Name       string  `json:"name"`
+	PipelineNs float64 `json:"pipeline_ns_per_op"`
+	RawNs      float64 `json:"raw_ns_per_op"`
+	Ratio      float64 `json:"ratio"`
+}
+
+type gateReport struct {
+	Note       string       `json:"note"`
+	Benchmarks []gateResult `json:"benchmarks"`
+}
+
+// runCase measures one case, best-of-rounds to tame scheduler noise.
+func runCase(c gateCase, rounds int) gateResult {
+	best := func(f func(b *testing.B)) float64 {
+		min := 0.0
+		for i := 0; i < rounds; i++ {
+			r := testing.Benchmark(f)
+			ns := float64(r.T.Nanoseconds()) / float64(r.N)
+			if min == 0 || ns < min {
+				min = ns
+			}
+		}
+		return min
+	}
+	p, raw := best(c.Pipeline), best(c.Raw)
+	return gateResult{Name: c.Name, PipelineNs: p, RawNs: raw, Ratio: p / raw}
+}
+
+// runBenchGate executes the gate and returns the process exit code.
+func runBenchGate(jsonOut bool, baselinePath, writeBaselinePath string) int {
+	report := gateReport{
+		Note: "ratio = fused pipeline time / hand-written loop time; only ratios are gated",
+	}
+	for _, c := range gateCases {
+		fmt.Fprintf(os.Stderr, "bench-gate: measuring %s...\n", c.Name)
+		report.Benchmarks = append(report.Benchmarks, runCase(c, 3))
+	}
+
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+	} else {
+		fmt.Printf("%-14s %14s %14s %8s\n", "case", "pipeline ns/op", "raw ns/op", "ratio")
+		for _, r := range report.Benchmarks {
+			fmt.Printf("%-14s %14.1f %14.1f %8.3f\n", r.Name, r.PipelineNs, r.RawNs, r.Ratio)
+		}
+	}
+
+	if writeBaselinePath != "" {
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err == nil {
+			err = os.WriteFile(writeBaselinePath, append(data, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "bench-gate: wrote baseline to %s\n", writeBaselinePath)
+		return 0
+	}
+
+	if baselinePath == "" {
+		return 0
+	}
+	data, err := os.ReadFile(baselinePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench-gate: %v\n", err)
+		return 1
+	}
+	var base gateReport
+	if err := json.Unmarshal(data, &base); err != nil {
+		fmt.Fprintf(os.Stderr, "bench-gate: parse %s: %v\n", baselinePath, err)
+		return 1
+	}
+	baseRatio := map[string]float64{}
+	for _, r := range base.Benchmarks {
+		baseRatio[r.Name] = r.Ratio
+	}
+
+	// Fail on >25% ratio regression. The floor on the allowed ratio absorbs
+	// timer noise on cases whose baseline is already at parity (~1.0): a
+	// jump from 1.00 to 1.24 is jitter, 1.00 to 1.60 is a lost fusion path.
+	const (
+		slack = 1.25
+		floor = 1.5
+	)
+	exit := 0
+	for _, r := range report.Benchmarks {
+		b, ok := baseRatio[r.Name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "bench-gate: %s missing from baseline (add it with -write-baseline)\n", r.Name)
+			exit = 1
+			continue
+		}
+		allowed := b * slack
+		if allowed < floor {
+			allowed = floor
+		}
+		if r.Ratio > allowed {
+			fmt.Fprintf(os.Stderr, "bench-gate: FAIL %s: ratio %.3f exceeds allowed %.3f (baseline %.3f)\n",
+				r.Name, r.Ratio, allowed, b)
+			exit = 1
+		} else {
+			fmt.Fprintf(os.Stderr, "bench-gate: ok %s: ratio %.3f (baseline %.3f, allowed %.3f)\n",
+				r.Name, r.Ratio, b, allowed)
+		}
+	}
+	return exit
+}

@@ -40,7 +40,15 @@ func main() {
 	out := flag.String("out", "", "directory to also write figure files into (fig1.txt, fig3.csv, fig4.csv, ...)")
 	netLatUS := flag.Int("netlat", 0, "with -sweep: simulated per-message wire latency in microseconds")
 	netMBs := flag.Float64("netbw", 0, "with -sweep: simulated wire bandwidth in MB/s")
+	benchGate := flag.Bool("bench-gate", false, "run the fused-pipeline regression benchmarks")
+	jsonOut := flag.Bool("json", false, "with -bench-gate: emit results as JSON")
+	baseline := flag.String("baseline", "", "with -bench-gate: compare ratios against this baseline file and fail on >25% regression")
+	writeBaseline := flag.String("write-baseline", "", "with -bench-gate: write the measured ratios to this file")
 	flag.Parse()
+
+	if *benchGate {
+		os.Exit(runBenchGate(*jsonOut, *baseline, *writeBaseline))
+	}
 
 	if *verify {
 		results := harness.VerifyAll(harness.VerifyConfig{Nodes: *nodes, Cores: *cores, Scale: *scale})

@@ -1,0 +1,285 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"triolet/internal/mpi"
+	"triolet/internal/serial"
+	"triolet/internal/transport"
+)
+
+// Chaos tests: sessions running on a deliberately faulty fabric. Every test
+// is deadline-guarded — the failure mode these exist to catch is a hang.
+
+// chaosProfile is the standard lossy-fabric profile: a few percent of every
+// fault kind, deterministic seed.
+func chaosProfile(seed int64) *transport.FaultConfig {
+	return &transport.FaultConfig{
+		Seed: seed,
+		Default: transport.FaultProbs{
+			Drop:      0.05,
+			Duplicate: 0.05,
+			Corrupt:   0.05,
+		},
+	}
+}
+
+// fastRetry keeps the ack/retry ladder responsive while leaving a deep
+// retry budget: under -race on a small machine a scheduling round can eat
+// several timeouts, and a starved rank must not read as a lost rank.
+func fastRetry() *mpi.ReliableConfig {
+	return &mpi.ReliableConfig{
+		AckTimeout:    500 * time.Microsecond,
+		Retries:       100,
+		MaxAckTimeout: 50 * time.Millisecond,
+	}
+}
+
+// runGuarded executes Run with a deadline; a session that hangs fails the
+// test instead of wedging the suite.
+func runGuarded(t *testing.T, cfg Config, master func(*Session) error) (transport.Stats, error) {
+	t.Helper()
+	type outcome struct {
+		stats transport.Stats
+		err   error
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		stats, err := Run(cfg, master)
+		ch <- outcome{stats, err}
+	}()
+	select {
+	case o := <-ch:
+		return o.stats, o.err
+	case <-time.After(30 * time.Second):
+		t.Fatal("session deadlocked under fault injection")
+		return transport.Stats{}, nil
+	}
+}
+
+// sumKernel computes sum(rank+1) over all nodes with a collective reduce.
+func registerSumKernel(name string) {
+	RegisterWorker(name, func(n *Node) error {
+		_, _, err := mpi.ReduceT(n.Comm, serial.IntC(), n.Rank()+1, func(a, b int) int { return a + b })
+		return err
+	})
+}
+
+func invokeSum(s *Session, name string) (int, error) {
+	if err := s.Invoke(name); err != nil {
+		return 0, err
+	}
+	sum, _, err := mpi.ReduceT(s.Node().Comm, serial.IntC(), s.Node().Rank()+1,
+		func(a, b int) int { return a + b })
+	return sum, err
+}
+
+func TestSessionIdenticalResultsUnderFaults(t *testing.T) {
+	resetRegistry()
+	registerSumKernel("chaos.sum")
+
+	run := func(fault *transport.FaultConfig, rel *mpi.ReliableConfig) int {
+		var sum int
+		_, err := runGuarded(t, Config{
+			Nodes: 4, CoresPerNode: 1,
+			Fault:    fault,
+			Reliable: rel,
+		}, func(s *Session) error {
+			var err error
+			sum, err = invokeSum(s, "chaos.sum")
+			return err
+		})
+		if err != nil {
+			t.Fatalf("session: %v", err)
+		}
+		return sum
+	}
+
+	clean := run(nil, nil)
+	faulty := run(chaosProfile(2026), fastRetry())
+	if clean != faulty || clean != 1+2+3+4 {
+		t.Fatalf("results diverged: clean=%d faulty=%d", clean, faulty)
+	}
+}
+
+func TestCrashedWorkerFailsCollectiveGracefully(t *testing.T) {
+	resetRegistry()
+	registerSumKernel("chaos.crashsum")
+
+	// Rank 3 dies on its very first send (the ack of the dispatch message),
+	// so the collective can never complete. The session must come back with
+	// a RankLostError-derived failure — not hang.
+	cfg := chaosProfile(7)
+	cfg.Default = transport.FaultProbs{} // crash only; isolate the failure mode
+	cfg.Crashes = []transport.Crash{{Rank: 3, AfterSends: 0}}
+
+	_, err := runGuarded(t, Config{
+		Nodes: 4, CoresPerNode: 1,
+		Fault:    cfg,
+		Reliable: fastRetry(),
+	}, func(s *Session) error {
+		_, err := invokeSum(s, "chaos.crashsum")
+		return err
+	})
+	if !errors.Is(err, mpi.ErrRankLost) {
+		t.Fatalf("session err = %v, want ErrRankLost-derived", err)
+	}
+}
+
+func TestFarmReassignsLostWorkerTasks(t *testing.T) {
+	resetRegistry()
+	resetFarmRegistry()
+	RegisterFarm("chaos.double", func(n *Node, task []byte) ([]byte, error) {
+		return []byte{task[0] * 2}, nil
+	})
+
+	// Rank 2 survives the dispatch handshake and a little work, then dies
+	// mid-farm; its in-flight task must be reassigned and the job must
+	// still produce every result.
+	cfg := &transport.FaultConfig{
+		Seed:    3,
+		Crashes: []transport.Crash{{Rank: 2, AfterSends: 5}},
+	}
+	const tasks = 12
+	var res *FarmResult
+	_, err := runGuarded(t, Config{
+		Nodes: 4, CoresPerNode: 1,
+		Fault:    cfg,
+		Reliable: fastRetry(),
+	}, func(s *Session) error {
+		in := make([][]byte, tasks)
+		for i := range in {
+			in[i] = []byte{byte(i)}
+		}
+		var err error
+		res, err = s.Farm("chaos.double", in)
+		return err
+	})
+	if err != nil {
+		t.Fatalf("session: %v", err)
+	}
+	for i, out := range res.Results {
+		if len(out) != 1 || out[0] != byte(i*2) {
+			t.Fatalf("task %d result = %v, want [%d]", i, out, i*2)
+		}
+	}
+	if !res.PartialFailure() {
+		t.Fatalf("lost worker not reported: %+v", res)
+	}
+	found := false
+	for _, r := range res.Lost {
+		if r == 2 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("Lost = %v, want to include rank 2", res.Lost)
+	}
+}
+
+func TestFarmMasterFallbackWhenAllWorkersDie(t *testing.T) {
+	resetRegistry()
+	resetFarmRegistry()
+	RegisterFarm("chaos.square", func(n *Node, task []byte) ([]byte, error) {
+		return []byte{task[0] * task[0]}, nil
+	})
+
+	// Every worker dies right after the dispatch handshake. The master is
+	// the job's last resort: it must run the remaining tasks itself and
+	// still return a complete result set.
+	cfg := &transport.FaultConfig{
+		Seed: 4,
+		Crashes: []transport.Crash{
+			{Rank: 1, AfterSends: 1},
+			{Rank: 2, AfterSends: 1},
+			{Rank: 3, AfterSends: 1},
+		},
+	}
+	const tasks = 6
+	var res *FarmResult
+	_, err := runGuarded(t, Config{
+		Nodes: 4, CoresPerNode: 1,
+		Fault:    cfg,
+		Reliable: fastRetry(),
+	}, func(s *Session) error {
+		in := make([][]byte, tasks)
+		for i := range in {
+			in[i] = []byte{byte(i)}
+		}
+		var err error
+		res, err = s.Farm("chaos.square", in)
+		return err
+	})
+	if err != nil {
+		t.Fatalf("session: %v", err)
+	}
+	for i, out := range res.Results {
+		if len(out) != 1 || out[0] != byte(i*i) {
+			t.Fatalf("task %d result = %v, want [%d]", i, out, i*i)
+		}
+	}
+	if res.MasterRan == 0 {
+		t.Fatalf("master never ran fallback tasks: %+v", res)
+	}
+	if len(res.Lost) != 3 {
+		t.Fatalf("Lost = %v, want all three workers", res.Lost)
+	}
+}
+
+func TestFarmTypedUnderLossyFabric(t *testing.T) {
+	resetRegistry()
+	resetFarmRegistry()
+	RegisterFarm("chaos.scale", func(n *Node, task []byte) ([]byte, error) {
+		v, err := serial.Unmarshal(serial.IntC(), task)
+		if err != nil {
+			return nil, err
+		}
+		return serial.Marshal(serial.IntC(), v*10), nil
+	})
+
+	in := []int{3, 1, 4, 1, 5, 9, 2, 6}
+	var out []int
+	var res *FarmResult
+	_, err := runGuarded(t, Config{
+		Nodes: 3, CoresPerNode: 1,
+		Fault:    chaosProfile(11),
+		Reliable: fastRetry(),
+	}, func(s *Session) error {
+		var err error
+		out, res, err = FarmT(s, "chaos.scale", serial.IntC(), serial.IntC(), in)
+		return err
+	})
+	if err != nil {
+		t.Fatalf("session: %v", err)
+	}
+	for i, v := range in {
+		if out[i] != v*10 {
+			t.Fatalf("out[%d] = %d, want %d (res=%+v)", i, out[i], v*10, res)
+		}
+	}
+}
+
+func TestFarmErrorPropagates(t *testing.T) {
+	resetRegistry()
+	resetFarmRegistry()
+	RegisterFarm("chaos.failing", func(n *Node, task []byte) ([]byte, error) {
+		if task[0] == 2 {
+			return nil, fmt.Errorf("task %d refused", task[0])
+		}
+		return task, nil
+	})
+	_, err := runGuarded(t, Config{
+		Nodes: 3, CoresPerNode: 1,
+		Reliable: fastRetry(),
+	}, func(s *Session) error {
+		_, err := s.Farm("chaos.failing", [][]byte{{0}, {1}, {2}, {3}})
+		return err
+	})
+	if err == nil || !strings.Contains(err.Error(), "refused") {
+		t.Fatalf("farm task error not propagated: %v", err)
+	}
+}

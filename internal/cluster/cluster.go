@@ -42,6 +42,18 @@ type Config struct {
 	// latency + size/bandwidth so real executions pay genuine
 	// communication time (see transport.DelayConfig).
 	NetDelay *transport.DelayConfig
+	// Fault, when non-nil, enables deterministic fault injection on the
+	// fabric: seeded drop/duplicate/reorder/corrupt/delay probabilities
+	// plus pause and crash schedules (see transport.FaultConfig). A
+	// faulty fabric needs Reliable set for sessions to survive it.
+	Fault *transport.FaultConfig
+	// Reliable, when non-nil, runs every rank's communicator in
+	// acknowledged-delivery mode (sequence numbers, checksums, retry
+	// with backoff, rank-loss detection; see mpi.ReliableConfig) and
+	// switches kernel dispatch from the broadcast tree to direct
+	// master→worker control messages, so a lost rank degrades the
+	// session instead of wedging the tree.
+	Reliable *mpi.ReliableConfig
 }
 
 // TotalCores reports Nodes × CoresPerNode.
@@ -137,19 +149,50 @@ func (s *Session) Fabric() *transport.Fabric { return s.fabric }
 
 const shutdownName = "\x00shutdown"
 
+// ctlTag is the reserved user tag for direct master→worker control
+// messages (kernel dispatch and shutdown) in reliable mode. Applications
+// must not send on it.
+const ctlTag = mpi.MaxUserTag
+
 // Invoke starts the named kernel on every worker node and returns once the
-// broadcast is out; the caller then runs the master side of the kernel
+// dispatch is out; the caller then runs the master side of the kernel
 // against s.Node(). Master side and worker sides must execute a matching
 // collective sequence or the session deadlocks — same contract as MPI.
+//
+// In reliable mode a worker that was already lost makes Invoke fail with a
+// RankLostError-derived error: collective kernels need full membership.
+// Use Farm for work that should survive losing ranks.
 func (s *Session) Invoke(name string) error {
 	if _, ok := lookupWorker(name); !ok {
 		return fmt.Errorf("cluster: kernel %q not registered", name)
 	}
-	_, err := mpi.BcastT(s.node.Comm, 0, serial.Funcs[string]{
-		Enc: func(w *serial.Writer, v string) { w.String(v) },
-		Dec: func(r *serial.Reader) string { return r.String() },
-	}, name)
+	if s.node.cfg.Reliable != nil {
+		lost, err := s.dispatch(name)
+		if err != nil {
+			return fmt.Errorf("cluster: invoke %q: %w", name, err)
+		}
+		if len(lost) > 0 {
+			return fmt.Errorf("cluster: invoke %q: workers %v: %w", name, lost, mpi.ErrRankLost)
+		}
+		return nil
+	}
+	_, err := mpi.BcastT(s.node.Comm, 0, stringCodec(), name)
 	return err
+}
+
+// dispatch sends a control string to every worker directly, skipping ranks
+// already known lost; it returns the ranks that could not be reached.
+func (s *Session) dispatch(name string) (lost []int, err error) {
+	for dst := 1; dst < s.node.Nodes(); dst++ {
+		if err := s.node.Comm.Send(dst, ctlTag, []byte(name)); err != nil {
+			if errors.Is(err, mpi.ErrRankLost) || errors.Is(err, transport.ErrCrashed) {
+				lost = append(lost, dst)
+				continue
+			}
+			return lost, err
+		}
+	}
+	return lost, nil
 }
 
 // Run launches the virtual cluster, executes master on rank 0 with a
@@ -163,6 +206,7 @@ func Run(cfg Config, master func(s *Session) error) (transport.Stats, error) {
 		Ranks:           cfg.Nodes,
 		MaxMessageBytes: cfg.MaxMessageBytes,
 		Delay:           cfg.NetDelay,
+		Fault:           cfg.Fault,
 	})
 	defer fabric.Close()
 
@@ -173,7 +217,7 @@ func Run(cfg Config, master func(s *Session) error) (transport.Stats, error) {
 		go func() {
 			defer wg.Done()
 			node := &Node{
-				Comm:   mpi.NewComm(fabric, r),
+				Comm:   newComm(fabric, r, cfg),
 				Pool:   sched.NewPool(cfg.CoresPerNode),
 				Tracer: cfg.Tracer,
 				cfg:    cfg,
@@ -191,10 +235,13 @@ func Run(cfg Config, master func(s *Session) error) (transport.Stats, error) {
 			} else {
 				errs[r] = workerMain(node)
 			}
-			if errs[r] != nil {
+			if errs[r] != nil && !errors.Is(errs[r], transport.ErrCrashed) {
 				// A failed rank aborts the whole job (MPI_Abort
 				// semantics): peers blocked in collectives unblock with
-				// ErrClosed rather than hanging on the dead rank.
+				// ErrClosed rather than hanging on the dead rank. A rank
+				// killed by fault injection is different — that death is
+				// the experiment, and surviving it is the runtime's job,
+				// so the fabric stays up for everyone else.
 				fabric.Close()
 			}
 		}()
@@ -202,6 +249,18 @@ func Run(cfg Config, master func(s *Session) error) (transport.Stats, error) {
 	wg.Wait()
 	stats := fabric.Stats()
 	return stats, joinErrs(errs)
+}
+
+// newComm builds one rank's communicator according to the cluster config.
+func newComm(fabric *transport.Fabric, rank int, cfg Config) *mpi.Comm {
+	if cfg.Reliable == nil {
+		return mpi.NewComm(fabric, rank)
+	}
+	rc := *cfg.Reliable
+	if rc.Tracer == nil {
+		rc.Tracer = cfg.Tracer
+	}
+	return mpi.NewReliableComm(fabric, rank, rc)
 }
 
 func masterMain(s *Session, master func(*Session) error) error {
@@ -213,13 +272,20 @@ func masterMain(s *Session, master func(*Session) error) error {
 		s.fabric.Close()
 		return err
 	}
+	if s.node.cfg.Reliable != nil {
+		// Direct shutdown, tolerating ranks lost during the run: the
+		// broadcast tree would wedge an entire subtree behind one dead
+		// interior rank.
+		_, err := s.dispatch(shutdownName)
+		return err
+	}
 	_, bErr := mpi.BcastT(s.node.Comm, 0, stringCodec(), shutdownName)
 	return bErr
 }
 
 func workerMain(n *Node) error {
 	for {
-		name, err := mpi.BcastT(n.Comm, 0, stringCodec(), "")
+		name, err := nextKernel(n)
 		if err != nil {
 			return err
 		}
@@ -236,6 +302,19 @@ func workerMain(n *Node) error {
 	}
 }
 
+// nextKernel waits for the master's next dispatch: a control message in
+// reliable mode, a broadcast otherwise.
+func nextKernel(n *Node) (string, error) {
+	if n.cfg.Reliable != nil {
+		m, err := n.Comm.Recv(0, ctlTag)
+		if err != nil {
+			return "", err
+		}
+		return string(m.Payload), nil
+	}
+	return mpi.BcastT(n.Comm, 0, stringCodec(), "")
+}
+
 func stringCodec() serial.Codec[string] {
 	return serial.Funcs[string]{
 		Enc: func(w *serial.Writer, v string) { w.String(v) },
@@ -244,5 +323,15 @@ func stringCodec() serial.Codec[string] {
 }
 
 func joinErrs(errs []error) error {
-	return errors.Join(errs...)
+	// A rank killed by fault injection is a simulated process death, not a
+	// job failure: the session's outcome is whatever the master reported
+	// (success for a farm that reassigned the lost rank's tasks, a
+	// RankLostError for a collective that needed it).
+	kept := make([]error, 0, len(errs))
+	for _, err := range errs {
+		if err != nil && !errors.Is(err, transport.ErrCrashed) {
+			kept = append(kept, err)
+		}
+	}
+	return errors.Join(kept...)
 }

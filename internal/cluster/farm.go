@@ -1,0 +1,291 @@
+// Task farm: the fault-tolerant counterpart of the collective skeletons.
+// Collective kernels (scatter → compute → reduce) need every rank alive
+// for the whole call; the farm instead streams independent tasks to
+// workers one at a time, so when a worker is lost mid-run (ack timeouts or
+// a fabric-reported crash) the master requeues that worker's in-flight
+// task, keeps going with the survivors, and — if every worker dies — runs
+// the remainder itself. The session degrades gracefully and reports the
+// partial failure in FarmResult instead of deadlocking, which is exactly
+// the behavior the paper's lossless-MPI runtime cannot offer (§3.4).
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"triolet/internal/mpi"
+	"triolet/internal/serial"
+	"triolet/internal/transport"
+)
+
+// Reserved user tags for the farm protocol (just below the control tag).
+const (
+	farmTaskTag   = mpi.MaxUserTag - 1
+	farmResultTag = mpi.MaxUserTag - 2
+)
+
+// FarmFn is a farm kernel body: one task in, one result out. It runs on
+// whichever node the task lands on (a worker, or the master as fallback).
+type FarmFn func(n *Node, task []byte) ([]byte, error)
+
+var (
+	farmMu       sync.RWMutex
+	farmRegistry = map[string]FarmFn{}
+)
+
+// RegisterFarm installs a named farm kernel. Like RegisterWorker it is
+// called once at init time and panics on duplicates. The same body is
+// used worker-side (task loop) and master-side (fallback execution).
+func RegisterFarm(name string, fn FarmFn) {
+	farmMu.Lock()
+	if _, dup := farmRegistry[name]; dup {
+		farmMu.Unlock()
+		panic(fmt.Sprintf("cluster: duplicate farm kernel %q", name))
+	}
+	farmRegistry[name] = fn
+	farmMu.Unlock()
+	RegisterWorker(name, func(n *Node) error { return farmWorker(n, fn) })
+}
+
+func lookupFarm(name string) (FarmFn, bool) {
+	farmMu.RLock()
+	defer farmMu.RUnlock()
+	fn, ok := farmRegistry[name]
+	return fn, ok
+}
+
+// resetFarmRegistry clears the farm kernel table (tests only).
+func resetFarmRegistry() {
+	farmMu.Lock()
+	defer farmMu.Unlock()
+	farmRegistry = map[string]FarmFn{}
+}
+
+// encodeTask frames one task assignment (stop=true carries no task).
+func encodeTask(stop bool, index int, payload []byte) []byte {
+	w := serial.NewWriter(len(payload) + 16)
+	w.Bool(stop)
+	w.Int(index)
+	w.RawBytes(payload)
+	return w.Bytes()
+}
+
+// farmWorker is the node-side task loop: receive, compute, reply, repeat
+// until the stop frame.
+func farmWorker(n *Node, fn FarmFn) error {
+	for {
+		m, err := n.Comm.Recv(0, farmTaskTag)
+		if err != nil {
+			return err
+		}
+		r := serial.NewReader(m.Payload)
+		stop := r.Bool()
+		idx := r.Int()
+		task := r.RawBytes()
+		if r.Err() != nil {
+			return fmt.Errorf("cluster: node %d: malformed farm task: %w", n.Rank(), r.Err())
+		}
+		if stop {
+			return nil
+		}
+		out, ferr := fn(n, task)
+		w := serial.NewWriter(len(out) + 16)
+		w.Int(idx)
+		w.Bool(ferr == nil)
+		if ferr != nil {
+			w.String(ferr.Error())
+		} else {
+			w.RawBytes(out)
+		}
+		if err := n.Comm.Send(0, farmResultTag, w.Bytes()); err != nil {
+			return err
+		}
+	}
+}
+
+// FarmResult reports a farm run's outcome, including its partial-failure
+// details.
+type FarmResult struct {
+	// Results holds one result per task, in task order.
+	Results [][]byte
+	// Lost lists worker ranks that died or stopped acknowledging.
+	Lost []int
+	// Reassigned counts tasks that were requeued off a lost worker.
+	Reassigned int
+	// MasterRan counts tasks the master executed itself because no
+	// worker remained alive.
+	MasterRan int
+}
+
+// PartialFailure reports whether any worker was lost during the run.
+func (fr *FarmResult) PartialFailure() bool { return len(fr.Lost) > 0 }
+
+// Farm runs the named farm kernel over tasks and returns every result.
+// Tasks are streamed to workers one at a time (self-balancing, like the
+// paper's Eden two-level parMap but demand-driven); a lost worker's
+// in-flight task is reassigned to a survivor. Farm succeeds as long as the
+// master survives — with zero live workers it computes the remaining tasks
+// locally — and FarmResult records how degraded the run was.
+func (s *Session) Farm(name string, tasks [][]byte) (*FarmResult, error) {
+	fn, ok := lookupFarm(name)
+	if !ok {
+		return nil, fmt.Errorf("cluster: farm kernel %q not registered", name)
+	}
+	res := &FarmResult{Results: make([][]byte, len(tasks))}
+	var lost []int
+	if s.node.cfg.Reliable == nil {
+		if _, err := mpi.BcastT(s.node.Comm, 0, stringCodec(), name); err != nil {
+			return nil, fmt.Errorf("cluster: farm %q dispatch: %w", name, err)
+		}
+	} else {
+		var err error
+		lost, err = s.dispatch(name)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: farm %q dispatch: %w", name, err)
+		}
+	}
+	res.Lost = lost
+
+	alive := make(map[int]bool)
+	for w := 1; w < s.node.Nodes(); w++ {
+		alive[w] = true
+	}
+	for _, w := range lost {
+		delete(alive, w)
+	}
+
+	queue := make([]int, len(tasks))
+	for i := range queue {
+		queue[i] = i
+	}
+	busy := map[int]int{} // worker rank → in-flight task index
+	done := 0
+
+	// loseWorker retires w and requeues its in-flight task, front of line.
+	loseWorker := func(w int) {
+		if idx, ok := busy[w]; ok {
+			queue = append([]int{idx}, queue...)
+			res.Reassigned++
+			delete(busy, w)
+		}
+		delete(alive, w)
+		res.Lost = append(res.Lost, w)
+	}
+	// assign hands the next queued task to w. A lost worker is retired
+	// (its task stays queued); any other send failure is job-fatal.
+	assign := func(w int) error {
+		idx := queue[0]
+		if err := s.node.Comm.Send(w, farmTaskTag, encodeTask(false, idx, tasks[idx])); err != nil {
+			if errors.Is(err, mpi.ErrRankLost) || errors.Is(err, transport.ErrCrashed) {
+				loseWorker(w)
+				return nil
+			}
+			return err
+		}
+		queue = queue[1:]
+		busy[w] = idx
+		return nil
+	}
+
+	prime := make([]int, 0, len(alive))
+	for w := range alive {
+		prime = append(prime, w)
+	}
+	for _, w := range prime {
+		if len(queue) == 0 {
+			break
+		}
+		if err := assign(w); err != nil {
+			return res, fmt.Errorf("cluster: farm %q assign: %w", name, err)
+		}
+	}
+
+	for done < len(tasks) {
+		// No workers left: the master is its own last resort.
+		if len(busy) == 0 {
+			for len(queue) > 0 {
+				idx := queue[0]
+				queue = queue[1:]
+				out, ferr := fn(s.node, tasks[idx])
+				if ferr != nil {
+					return res, fmt.Errorf("cluster: farm %q task %d (master fallback): %w", name, idx, ferr)
+				}
+				res.Results[idx] = out
+				res.MasterRan++
+				done++
+			}
+			break
+		}
+		m, ok, err := s.node.Comm.TryRecv(transport.AnySource, farmResultTag)
+		if err != nil {
+			return res, fmt.Errorf("cluster: farm %q collect: %w", name, err)
+		}
+		if ok {
+			r := serial.NewReader(m.Payload)
+			idx := r.Int()
+			okTask := r.Bool()
+			if !okTask {
+				msg := r.String()
+				return res, fmt.Errorf("cluster: farm %q task %d on node %d: %s", name, idx, m.Src, msg)
+			}
+			out := r.RawBytes()
+			if r.Err() != nil || idx < 0 || idx >= len(tasks) {
+				return res, fmt.Errorf("cluster: farm %q: malformed result from node %d", name, m.Src)
+			}
+			res.Results[idx] = out
+			done++
+			delete(busy, m.Src)
+			if len(queue) > 0 {
+				if err := assign(m.Src); err != nil {
+					return res, fmt.Errorf("cluster: farm %q assign: %w", name, err)
+				}
+			}
+			continue
+		}
+		// Nothing arrived: sweep the in-flight workers for deaths the
+		// fabric already knows about.
+		crashed := false
+		for w := range busy {
+			if s.fabric.Crashed(w) {
+				loseWorker(w)
+				crashed = true
+			}
+		}
+		if !crashed {
+			time.Sleep(50 * time.Microsecond)
+		}
+	}
+
+	// Release the survivors back to the kernel-dispatch loop.
+	for w := range alive {
+		if err := s.node.Comm.Send(w, farmTaskTag, encodeTask(true, 0, nil)); err != nil &&
+			!errors.Is(err, mpi.ErrRankLost) && !errors.Is(err, transport.ErrCrashed) {
+			return res, fmt.Errorf("cluster: farm %q stop: %w", name, err)
+		}
+	}
+	return res, nil
+}
+
+// FarmT is the typed farm wrapper: codecs on both ends, same reassignment
+// semantics.
+func FarmT[T, R any](s *Session, name string, tc serial.Codec[T], rc serial.Codec[R], tasks []T) ([]R, *FarmResult, error) {
+	raw := make([][]byte, len(tasks))
+	for i, t := range tasks {
+		raw[i] = serial.Marshal(tc, t)
+	}
+	fr, err := s.Farm(name, raw)
+	if err != nil {
+		return nil, fr, err
+	}
+	out := make([]R, len(fr.Results))
+	for i, b := range fr.Results {
+		v, err := serial.Unmarshal(rc, b)
+		if err != nil {
+			return nil, fr, fmt.Errorf("cluster: farm %q decode task %d: %w", name, i, err)
+		}
+		out[i] = v
+	}
+	return out, fr, nil
+}

@@ -29,12 +29,59 @@ const (
 // MPI communicator handle is owned by a process.
 type Comm struct {
 	ep  *transport.Endpoint
+	f   *transport.Fabric
 	seq int
+	rel *reliable
 }
 
-// NewComm returns rank's communicator over f.
+// NewComm returns rank's communicator over f. Delivery is direct: the
+// fabric is trusted to be lossless, matching the paper's MPI assumption.
 func NewComm(f *transport.Fabric, rank int) *Comm {
-	return &Comm{ep: f.Endpoint(rank)}
+	return &Comm{ep: f.Endpoint(rank), f: f}
+}
+
+// NewReliableComm returns rank's communicator in acknowledged-delivery
+// mode: every point-to-point message (including the ones inside
+// collectives) is framed with a sequence number and checksum, acknowledged
+// by the receiver, retried with backoff on timeout, deduplicated, and
+// re-ordered back into per-sender sequence — so the communicator survives
+// a fabric that drops, duplicates, reorders, or corrupts messages (see
+// transport.FaultConfig). A peer that stops acknowledging is declared lost
+// with a RankLostError instead of blocking forever.
+func NewReliableComm(f *transport.Fabric, rank int, cfg ReliableConfig) *Comm {
+	c := &Comm{ep: f.Endpoint(rank), f: f}
+	c.rel = newReliable(c, cfg)
+	return c
+}
+
+// ReliableEnabled reports whether this communicator runs in
+// acknowledged-delivery mode.
+func (c *Comm) ReliableEnabled() bool { return c.rel != nil }
+
+// send is the internal point-to-point send every operation (user sends and
+// collectives) routes through; it applies the ack/retry protocol when
+// reliable mode is on.
+func (c *Comm) send(dst, tag int, payload []byte) error {
+	if c.rel != nil {
+		return c.rel.send(dst, tag, payload)
+	}
+	return c.ep.Send(dst, tag, payload)
+}
+
+// recvMsg is the matching internal receive.
+func (c *Comm) recvMsg(src, tag int) (transport.Message, error) {
+	if c.rel != nil {
+		return c.rel.recv(src, tag)
+	}
+	return c.ep.Recv(src, tag)
+}
+
+// tryRecvMsg is the non-blocking internal receive.
+func (c *Comm) tryRecvMsg(src, tag int) (transport.Message, bool, error) {
+	if c.rel != nil {
+		return c.rel.tryRecv(src, tag)
+	}
+	return c.ep.TryRecv(src, tag)
 }
 
 // Rank reports this communicator's rank.
@@ -48,7 +95,7 @@ func (c *Comm) Send(dst, tag int, payload []byte) error {
 	if tag < 0 || tag > MaxUserTag {
 		return fmt.Errorf("mpi: user tag %d out of range", tag)
 	}
-	return c.ep.Send(dst, tag, payload)
+	return c.send(dst, tag, payload)
 }
 
 // Recv blocks for a message matching (src, tag); src may be
@@ -57,7 +104,16 @@ func (c *Comm) Recv(src, tag int) (transport.Message, error) {
 	if tag != transport.AnyTag && (tag < 0 || tag > MaxUserTag) {
 		return transport.Message{}, fmt.Errorf("mpi: user tag %d out of range", tag)
 	}
-	return c.ep.Recv(src, tag)
+	return c.recvMsg(src, tag)
+}
+
+// TryRecv is the non-blocking variant of Recv; ok is false when no
+// matching message is available.
+func (c *Comm) TryRecv(src, tag int) (transport.Message, bool, error) {
+	if tag != transport.AnyTag && (tag < 0 || tag > MaxUserTag) {
+		return transport.Message{}, false, fmt.Errorf("mpi: user tag %d out of range", tag)
+	}
+	return c.tryRecvMsg(src, tag)
 }
 
 // nextTag issues the collective-reserved tag for the next collective call.
@@ -84,11 +140,11 @@ func (c *Comm) treeGatherSignal(tag int) error {
 	rank, size := c.Rank(), c.Size()
 	for dist := 1; dist < size; dist <<= 1 {
 		if rank&dist != 0 {
-			return c.ep.Send(rank-dist, tag, nil)
+			return c.send(rank-dist, tag, nil)
 		}
 		peer := rank + dist
 		if peer < size {
-			if _, err := c.ep.Recv(peer, tag); err != nil {
+			if _, err := c.recvMsg(peer, tag); err != nil {
 				return err
 			}
 		}
@@ -105,7 +161,7 @@ func (c *Comm) treeBcast(tag int, data []byte) ([]byte, error) {
 	mask := 1
 	for mask < size {
 		if rank&mask != 0 {
-			m, err := c.ep.Recv(rank-mask, tag)
+			m, err := c.recvMsg(rank-mask, tag)
 			if err != nil {
 				return nil, err
 			}
@@ -116,7 +172,7 @@ func (c *Comm) treeBcast(tag int, data []byte) ([]byte, error) {
 	}
 	for mask >>= 1; mask > 0; mask >>= 1 {
 		if peer := rank + mask; peer < size {
-			if err := c.ep.Send(peer, tag, data); err != nil {
+			if err := c.send(peer, tag, data); err != nil {
 				return nil, err
 			}
 		}
@@ -132,12 +188,12 @@ func (c *Comm) Bcast(root int, data []byte) ([]byte, error) {
 		// Rotate so the tree is rooted at 0 logically: root forwards to 0
 		// first. Simple and rare; the benchmarks root at 0.
 		if c.Rank() == root {
-			if err := c.ep.Send(0, tag, data); err != nil {
+			if err := c.send(0, tag, data); err != nil {
 				return nil, err
 			}
 		}
 		if c.Rank() == 0 {
-			m, err := c.ep.Recv(root, tag)
+			m, err := c.recvMsg(root, tag)
 			if err != nil {
 				return nil, err
 			}
@@ -161,13 +217,13 @@ func (c *Comm) Scatter(root int, parts [][]byte) ([]byte, error) {
 			if dst == root {
 				continue
 			}
-			if err := c.ep.Send(dst, tag, p); err != nil {
+			if err := c.send(dst, tag, p); err != nil {
 				return nil, err
 			}
 		}
 		return parts[root], nil
 	}
-	m, err := c.ep.Recv(root, tag)
+	m, err := c.recvMsg(root, tag)
 	if err != nil {
 		return nil, err
 	}
@@ -179,12 +235,12 @@ func (c *Comm) Scatter(root int, parts [][]byte) ([]byte, error) {
 func (c *Comm) Gather(root int, mine []byte) ([][]byte, error) {
 	tag := c.nextTag()
 	if c.Rank() != root {
-		return nil, c.ep.Send(root, tag, mine)
+		return nil, c.send(root, tag, mine)
 	}
 	out := make([][]byte, c.Size())
 	out[root] = mine
 	for i := 0; i < c.Size()-1; i++ {
-		m, err := c.ep.Recv(transport.AnySource, tag)
+		m, err := c.recvMsg(transport.AnySource, tag)
 		if err != nil {
 			return nil, err
 		}
@@ -202,14 +258,14 @@ func (c *Comm) ReduceBytes(mine []byte, combine func(a, b []byte) ([]byte, error
 	acc := mine
 	for dist := 1; dist < size; dist <<= 1 {
 		if rank&dist != 0 {
-			if err := c.ep.Send(rank-dist, tag, acc); err != nil {
+			if err := c.send(rank-dist, tag, acc); err != nil {
 				return nil, false, err
 			}
 			return nil, false, nil
 		}
 		peer := rank + dist
 		if peer < size {
-			m, err := c.ep.Recv(peer, tag)
+			m, err := c.recvMsg(peer, tag)
 			if err != nil {
 				return nil, false, err
 			}

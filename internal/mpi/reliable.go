@@ -1,0 +1,451 @@
+package mpi
+
+import (
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"sync"
+	"time"
+
+	"triolet/internal/serial"
+	"triolet/internal/trace"
+	"triolet/internal/transport"
+)
+
+// Acknowledged-delivery mode. The paper's runtime sits on MPI and trusts
+// the fabric completely (§3.4); this layer removes that trust. Every
+// point-to-point message is wrapped in a frame carrying a per-(src,dst)
+// sequence number and a CRC-32 over the whole frame. The receiver
+// acknowledges every valid frame (including duplicates, whose first ack
+// may have been lost), drops corrupt frames silently so the sender's
+// retransmit fires, and reassembles frames into per-sender sequence order
+// before tag matching — restoring MPI's non-overtaking rule on a fabric
+// that reorders. The sender retransmits on ack timeout with exponential
+// backoff and, when a peer's acknowledgements stop for good (or the fabric
+// reports it crashed), fails fast with a RankLostError instead of blocking
+// forever — the hook the cluster runtime uses to degrade gracefully.
+
+// Reserved wire tags, far above both user tags and the collective tag
+// sequence. In reliable mode every frame travels on one of these; the
+// application-level tag rides inside the frame.
+const (
+	tagRelData = 1 << 30
+	tagRelAck  = tagRelData + 1
+)
+
+// Frame kinds.
+const (
+	kindData uint8 = 0xD1
+	kindAck  uint8 = 0xA2
+)
+
+// ErrRankLost reports that a peer stopped acknowledging deliveries (or
+// crashed outright) and has been declared dead.
+var ErrRankLost = errors.New("mpi: rank lost")
+
+// RankLostError carries which rank was lost and how hard we tried. It
+// unwraps to ErrRankLost, so callers test with errors.Is.
+type RankLostError struct {
+	Rank     int
+	Attempts int
+}
+
+func (e *RankLostError) Error() string {
+	return fmt.Sprintf("mpi: rank %d lost after %d delivery attempts", e.Rank, e.Attempts)
+}
+
+func (e *RankLostError) Unwrap() error { return ErrRankLost }
+
+// ReliableConfig tunes the ack/retry protocol. Zero values select the
+// defaults noted on each field.
+type ReliableConfig struct {
+	// AckTimeout is the first attempt's acknowledgement deadline
+	// (default 5ms); later attempts back off from it.
+	AckTimeout time.Duration
+	// Retries is the number of retransmissions before a silent peer is
+	// declared lost (default 8).
+	Retries int
+	// Backoff multiplies the timeout after each retransmission
+	// (default 1.6).
+	Backoff float64
+	// MaxAckTimeout caps the backed-off timeout (default 250ms).
+	MaxAckTimeout time.Duration
+	// RecvTimeout bounds a blocking receive; 0 waits forever. Receives
+	// from a specific rank fail fast regardless when the fabric reports
+	// that rank crashed.
+	RecvTimeout time.Duration
+	// PollInterval is the ack/receive poll granularity (default 100µs).
+	PollInterval time.Duration
+	// Tracer, when non-nil, records retransmissions and dropped frames
+	// as trace events ("net.retry", "net.recover", "net.corrupt-drop",
+	// "net.dup-drop").
+	Tracer *trace.Tracer
+}
+
+func (cfg ReliableConfig) withDefaults() ReliableConfig {
+	if cfg.AckTimeout <= 0 {
+		cfg.AckTimeout = 5 * time.Millisecond
+	}
+	if cfg.Retries <= 0 {
+		cfg.Retries = 8
+	}
+	if cfg.Backoff < 1 {
+		cfg.Backoff = 1.6
+	}
+	if cfg.MaxAckTimeout <= 0 {
+		cfg.MaxAckTimeout = 250 * time.Millisecond
+	}
+	if cfg.PollInterval <= 0 {
+		cfg.PollInterval = 100 * time.Microsecond
+	}
+	return cfg
+}
+
+// ReliableStats counts protocol activity on one communicator.
+type ReliableStats struct {
+	FramesSent     int64
+	Retries        int64
+	AcksSent       int64
+	Delivered      int64
+	DupDropped     int64
+	CorruptDropped int64
+}
+
+// pendFrame is an out-of-order data frame parked until the gap fills.
+type pendFrame struct {
+	tag     int
+	payload []byte
+}
+
+// reliable holds the protocol state of one communicator. State access is
+// mutex-guarded (never across a sleep) so helper goroutines (Irecv) stay
+// safe, but the design point is the single owning goroutine of the Comm.
+type reliable struct {
+	c   *Comm
+	cfg ReliableConfig
+
+	mu      sync.Mutex
+	nextSeq []uint64               // per dst: next sequence number to assign
+	acked   []map[uint64]struct{}  // per dst: acknowledged sends
+	expect  []uint64               // per src: next in-order sequence expected
+	ahead   []map[uint64]pendFrame // per src: frames ahead of the expected seq
+	queue   []transport.Message    // reassembled, tag-matchable deliveries
+	stats   ReliableStats
+}
+
+func newReliable(c *Comm, cfg ReliableConfig) *reliable {
+	n := c.ep.Ranks()
+	r := &reliable{
+		c:       c,
+		cfg:     cfg.withDefaults(),
+		nextSeq: make([]uint64, n),
+		acked:   make([]map[uint64]struct{}, n),
+		expect:  make([]uint64, n),
+		ahead:   make([]map[uint64]pendFrame, n),
+	}
+	for i := 0; i < n; i++ {
+		r.acked[i] = map[uint64]struct{}{}
+		r.ahead[i] = map[uint64]pendFrame{}
+	}
+	return r
+}
+
+// encodeData builds a data frame: body ++ crc32(body).
+func encodeData(seq uint64, tag int, payload []byte) []byte {
+	w := serial.NewWriter(len(payload) + 32)
+	w.U8(kindData)
+	w.U64(seq)
+	w.Int(tag)
+	w.RawBytes(payload)
+	w.U32(crc32.ChecksumIEEE(w.Bytes()))
+	return w.Bytes()
+}
+
+// encodeAck builds an acknowledgement frame.
+func encodeAck(seq uint64) []byte {
+	w := serial.NewWriter(16)
+	w.U8(kindAck)
+	w.U64(seq)
+	w.U32(crc32.ChecksumIEEE(w.Bytes()))
+	return w.Bytes()
+}
+
+// decodeFrame verifies the trailing checksum and parses the body. ok is
+// false for anything malformed — short, checksum mismatch, bad kind, or
+// trailing garbage — which the protocol treats as corruption in flight.
+func decodeFrame(b []byte) (kind uint8, seq uint64, tag int, payload []byte, ok bool) {
+	if len(b) < 4 {
+		return 0, 0, 0, nil, false
+	}
+	body, sum := b[:len(b)-4], b[len(b)-4:]
+	r := serial.NewReader(sum)
+	if crc32.ChecksumIEEE(body) != r.U32() {
+		return 0, 0, 0, nil, false
+	}
+	br := serial.NewReader(body)
+	kind = br.U8()
+	seq = br.U64()
+	switch kind {
+	case kindAck:
+		if br.Err() != nil || br.Remaining() != 0 {
+			return 0, 0, 0, nil, false
+		}
+		return kind, seq, 0, nil, true
+	case kindData:
+		tag = br.Int()
+		payload = br.RawBytes()
+		if br.Err() != nil || br.Remaining() != 0 {
+			return 0, 0, 0, nil, false
+		}
+		return kind, seq, tag, payload, true
+	default:
+		return 0, 0, 0, nil, false
+	}
+}
+
+// pump drains every frame the fabric has for this rank without blocking:
+// data frames are verified, acknowledged, deduplicated, and reassembled
+// into per-sender order; ack frames mark pending sends complete. Callers
+// must hold r.mu.
+func (r *reliable) pump() (progress bool, err error) {
+	for {
+		m, ok, terr := r.c.ep.TryRecv(transport.AnySource, tagRelData)
+		if terr != nil {
+			return progress, terr
+		}
+		if !ok {
+			break
+		}
+		progress = true
+		if err := r.handleData(m); err != nil {
+			return progress, err
+		}
+	}
+	for {
+		m, ok, terr := r.c.ep.TryRecv(transport.AnySource, tagRelAck)
+		if terr != nil {
+			return progress, terr
+		}
+		if !ok {
+			break
+		}
+		progress = true
+		kind, seq, _, _, valid := decodeFrame(m.Payload)
+		if !valid || kind != kindAck {
+			r.stats.CorruptDropped++
+			r.cfg.Tracer.Instant(r.c.Rank(), "net.corrupt-drop", int64(len(m.Payload)))
+			continue
+		}
+		r.acked[m.Src][seq] = struct{}{}
+	}
+	return progress, nil
+}
+
+// handleData processes one incoming wire frame.
+func (r *reliable) handleData(m transport.Message) error {
+	kind, seq, tag, payload, valid := decodeFrame(m.Payload)
+	if !valid || kind != kindData {
+		// Corrupt in flight: drop without acking; the sender retransmits.
+		r.stats.CorruptDropped++
+		r.cfg.Tracer.Instant(r.c.Rank(), "net.corrupt-drop", int64(len(m.Payload)))
+		return nil
+	}
+	// Always ack a valid frame — a duplicate usually means our first ack
+	// was lost.
+	if err := r.c.ep.Send(m.Src, tagRelAck, encodeAck(seq)); err != nil {
+		return err
+	}
+	r.stats.AcksSent++
+	src := m.Src
+	switch {
+	case seq == r.expect[src]:
+		r.enqueue(src, tag, payload)
+		r.expect[src]++
+		for {
+			pf, ok := r.ahead[src][r.expect[src]]
+			if !ok {
+				break
+			}
+			delete(r.ahead[src], r.expect[src])
+			r.enqueue(src, pf.tag, pf.payload)
+			r.expect[src]++
+		}
+	case seq > r.expect[src]:
+		if _, dup := r.ahead[src][seq]; dup {
+			r.stats.DupDropped++
+			r.cfg.Tracer.Instant(r.c.Rank(), "net.dup-drop", int64(len(payload)))
+		} else {
+			r.ahead[src][seq] = pendFrame{tag: tag, payload: payload}
+		}
+	default: // seq < expected: already delivered
+		r.stats.DupDropped++
+		r.cfg.Tracer.Instant(r.c.Rank(), "net.dup-drop", int64(len(payload)))
+	}
+	return nil
+}
+
+func (r *reliable) enqueue(src, tag int, payload []byte) {
+	r.queue = append(r.queue, transport.Message{Src: src, Tag: tag, Payload: payload})
+	r.stats.Delivered++
+}
+
+// send transmits one message with ack/retry. It blocks until the receiver
+// acknowledges (stop-and-wait; collectives send sequentially anyway) and
+// keeps serving incoming frames while it waits, so two ranks sending to
+// each other cannot deadlock.
+func (r *reliable) send(dst, tag int, payload []byte) error {
+	rank := r.c.Rank()
+	if dst == rank {
+		// Local delivery: no wire, no frames.
+		cp := append([]byte(nil), payload...)
+		r.mu.Lock()
+		r.enqueue(rank, tag, cp)
+		r.mu.Unlock()
+		return nil
+	}
+	r.mu.Lock()
+	seq := r.nextSeq[dst]
+	r.nextSeq[dst]++
+	r.mu.Unlock()
+	frame := encodeData(seq, tag, payload)
+	timeout := r.cfg.AckTimeout
+	var endRecover func()
+	finish := func(err error) error {
+		if endRecover != nil {
+			endRecover()
+		}
+		return err
+	}
+	for attempt := 0; ; attempt++ {
+		if attempt > r.cfg.Retries {
+			return finish(&RankLostError{Rank: dst, Attempts: attempt})
+		}
+		if r.c.f.Crashed(dst) {
+			return finish(&RankLostError{Rank: dst, Attempts: attempt})
+		}
+		if attempt > 0 {
+			r.mu.Lock()
+			r.stats.Retries++
+			r.mu.Unlock()
+			r.cfg.Tracer.Instant(rank, "net.retry", int64(len(payload)))
+			if endRecover == nil {
+				endRecover = r.cfg.Tracer.Begin(rank, "net.recover")
+			}
+		}
+		if err := r.c.ep.Send(dst, tagRelData, frame); err != nil {
+			return finish(err)
+		}
+		r.mu.Lock()
+		r.stats.FramesSent++
+		r.mu.Unlock()
+		deadline := time.Now().Add(timeout)
+		for {
+			r.mu.Lock()
+			if _, ok := r.acked[dst][seq]; ok {
+				delete(r.acked[dst], seq)
+				r.mu.Unlock()
+				return finish(nil)
+			}
+			_, err := r.pump()
+			if err == nil {
+				if _, ok := r.acked[dst][seq]; ok {
+					delete(r.acked[dst], seq)
+					err = errAckedSentinel
+				}
+			}
+			r.mu.Unlock()
+			if err == errAckedSentinel {
+				return finish(nil)
+			}
+			if err != nil {
+				return finish(err)
+			}
+			if time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(r.cfg.PollInterval)
+		}
+		timeout = time.Duration(float64(timeout) * r.cfg.Backoff)
+		if timeout > r.cfg.MaxAckTimeout {
+			timeout = r.cfg.MaxAckTimeout
+		}
+	}
+}
+
+// errAckedSentinel is an internal control-flow marker, never returned.
+var errAckedSentinel = errors.New("mpi: internal ack sentinel")
+
+// match pops the first queued delivery matching (src, tag).
+func (r *reliable) match(src, tag int) (transport.Message, bool) {
+	for i, m := range r.queue {
+		if (src == transport.AnySource || m.Src == src) && (tag == transport.AnyTag || m.Tag == tag) {
+			r.queue = append(r.queue[:i], r.queue[i+1:]...)
+			return m, true
+		}
+	}
+	return transport.Message{}, false
+}
+
+// recv blocks until a reassembled delivery matches (src, tag). A crashed
+// specific source fails fast with RankLostError; RecvTimeout (if set)
+// bounds the overall wait.
+func (r *reliable) recv(src, tag int) (transport.Message, error) {
+	var deadline time.Time
+	if r.cfg.RecvTimeout > 0 {
+		deadline = time.Now().Add(r.cfg.RecvTimeout)
+	}
+	for {
+		r.mu.Lock()
+		m, ok := r.match(src, tag)
+		var progress bool
+		var err error
+		if !ok {
+			progress, err = r.pump()
+			if err == nil {
+				m, ok = r.match(src, tag)
+			}
+		}
+		r.mu.Unlock()
+		if ok {
+			return m, nil
+		}
+		if err != nil {
+			return transport.Message{}, err
+		}
+		if progress {
+			continue
+		}
+		if src != transport.AnySource && src != r.c.Rank() && r.c.f.Crashed(src) {
+			return transport.Message{}, &RankLostError{Rank: src}
+		}
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			return transport.Message{}, fmt.Errorf("mpi: recv(src=%d, tag=%d) timed out after %v: %w",
+				src, tag, r.cfg.RecvTimeout, ErrRankLost)
+		}
+		time.Sleep(r.cfg.PollInterval)
+	}
+}
+
+// tryRecv is the non-blocking receive: one pump, one match.
+func (r *reliable) tryRecv(src, tag int) (transport.Message, bool, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.match(src, tag); ok {
+		return m, true, nil
+	}
+	if _, err := r.pump(); err != nil {
+		return transport.Message{}, false, err
+	}
+	m, ok := r.match(src, tag)
+	return m, ok, nil
+}
+
+// ReliableStats returns protocol counters; all-zero in direct mode.
+func (c *Comm) ReliableStats() ReliableStats {
+	if c.rel == nil {
+		return ReliableStats{}
+	}
+	c.rel.mu.Lock()
+	defer c.rel.mu.Unlock()
+	return c.rel.stats
+}

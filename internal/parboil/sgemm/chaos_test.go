@@ -1,0 +1,109 @@
+package sgemm
+
+import (
+	"testing"
+	"time"
+
+	"triolet/internal/array"
+	"triolet/internal/cluster"
+	"triolet/internal/mpi"
+	"triolet/internal/parboil"
+	"triolet/internal/transport"
+)
+
+// Chaos mode: the full distributed benchmark on a fabric that drops,
+// duplicates, and corrupts ≥1% of messages. The acceptance bar is bit-exact
+// agreement with the fault-free run — the retry/ack layer must make the
+// faulty fabric indistinguishable from a lossless one.
+
+func chaosFault(seed int64) *transport.FaultConfig {
+	return &transport.FaultConfig{
+		Seed: seed,
+		Default: transport.FaultProbs{
+			Drop:      0.02,
+			Duplicate: 0.02,
+			Corrupt:   0.02,
+		},
+	}
+}
+
+func chaosRetry() *mpi.ReliableConfig {
+	return &mpi.ReliableConfig{
+		AckTimeout:    time.Millisecond,
+		Retries:       100,
+		MaxAckTimeout: 50 * time.Millisecond,
+	}
+}
+
+func runTriolet(t *testing.T, cfg cluster.Config, in *Input) array.Matrix[float32] {
+	t.Helper()
+	var got array.Matrix[float32]
+	done := make(chan error, 1)
+	go func() {
+		_, err := cluster.Run(cfg, func(s *cluster.Session) error {
+			c, err := Triolet(s, in)
+			got = c
+			return err
+		})
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("%+v: %v", cfg, err)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatalf("%+v: run hung under fault injection", cfg)
+	}
+	return got
+}
+
+func TestTrioletChaosIdenticalResults(t *testing.T) {
+	in := Gen(45, 30, 37, 21)
+	clean := runTriolet(t, cluster.Config{Nodes: 4, CoresPerNode: 2}, in)
+	faulty := runTriolet(t, cluster.Config{
+		Nodes: 4, CoresPerNode: 2,
+		Fault:    chaosFault(20260806),
+		Reliable: chaosRetry(),
+	}, in)
+	if clean.H != faulty.H || clean.W != faulty.W {
+		t.Fatalf("shape %dx%d vs %dx%d", faulty.H, faulty.W, clean.H, clean.W)
+	}
+	if d := parboil.MaxAbsDiff(clean.Data, faulty.Data); d != 0 {
+		t.Fatalf("faulty run differs from clean run by %v", d)
+	}
+	// And both still agree with the sequential reference.
+	checkMatch(t, "triolet-chaos", faulty, in)
+}
+
+func TestTrioletChaosFaultsActuallyFired(t *testing.T) {
+	// Guard against a silently disabled injector: the chaos profile must
+	// produce faults and the protocol must record recoveries.
+	in := Gen(33, 20, 29, 23)
+	var stats transport.Stats
+	done := make(chan error, 1)
+	go func() {
+		s, err := cluster.Run(cluster.Config{
+			Nodes: 4, CoresPerNode: 1,
+			Fault:    chaosFault(77),
+			Reliable: chaosRetry(),
+		}, func(s *cluster.Session) error {
+			_, err := Triolet(s, in)
+			return err
+		})
+		stats = s
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("run hung under fault injection")
+	}
+	f := stats.Faults
+	if f.Dropped+f.Duplicated+f.Corrupted == 0 {
+		t.Fatalf("no faults injected: %+v", f)
+	}
+}

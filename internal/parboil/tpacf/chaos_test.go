@@ -1,0 +1,68 @@
+package tpacf
+
+import (
+	"testing"
+	"time"
+
+	"triolet/internal/cluster"
+	"triolet/internal/mpi"
+	"triolet/internal/transport"
+)
+
+// Chaos mode: tpacf's distributed histogram on a lossy fabric must produce
+// the exact histograms of a fault-free run (integer bins — no tolerance).
+
+func chaosFault(seed int64) *transport.FaultConfig {
+	return &transport.FaultConfig{
+		Seed: seed,
+		Default: transport.FaultProbs{
+			Drop:      0.02,
+			Duplicate: 0.02,
+			Corrupt:   0.02,
+		},
+	}
+}
+
+func chaosRetry() *mpi.ReliableConfig {
+	return &mpi.ReliableConfig{
+		AckTimeout:    time.Millisecond,
+		Retries:       100,
+		MaxAckTimeout: 50 * time.Millisecond,
+	}
+}
+
+func runTriolet(t *testing.T, cfg cluster.Config, in *Input) Result {
+	t.Helper()
+	var got Result
+	done := make(chan error, 1)
+	go func() {
+		_, err := cluster.Run(cfg, func(s *cluster.Session) error {
+			r, err := Triolet(s, in)
+			got = r
+			return err
+		})
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("%+v: %v", cfg, err)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatalf("%+v: run hung under fault injection", cfg)
+	}
+	return got
+}
+
+func TestTrioletChaosIdenticalResults(t *testing.T) {
+	in := Gen(45, 7, 14, 13)
+	clean := runTriolet(t, cluster.Config{Nodes: 3, CoresPerNode: 2}, in)
+	faulty := runTriolet(t, cluster.Config{
+		Nodes: 3, CoresPerNode: 2,
+		Fault:    chaosFault(20260806),
+		Reliable: chaosRetry(),
+	}, in)
+	checkResult(t, "triolet-chaos-vs-clean", faulty, clean)
+	// And both agree with the sequential reference.
+	checkResult(t, "triolet-chaos-vs-seq", faulty, Seq(in))
+}

@@ -1,0 +1,97 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestMessageSizeExactBoundary(t *testing.T) {
+	const limit = 64
+	f := New(Config{Ranks: 2, MaxMessageBytes: limit})
+	defer f.Close()
+	// Exactly at the limit must pass; one byte over must fail.
+	if err := f.Send(0, 1, 0, make([]byte, limit)); err != nil {
+		t.Fatalf("send at limit: %v", err)
+	}
+	err := f.Send(0, 1, 0, make([]byte, limit+1))
+	if !errors.Is(err, ErrMessageTooLarge) {
+		t.Fatalf("send over limit err = %v, want ErrMessageTooLarge", err)
+	}
+	// The oversized send must not have been metered as traffic.
+	if s := f.Stats(); s.Messages != 1 || s.Bytes != limit {
+		t.Fatalf("stats after rejected send = %+v", s)
+	}
+}
+
+func TestRecvAnySourceAnyTagConcurrentSenders(t *testing.T) {
+	const senders = 8
+	const perSender = 50
+	f := New(Config{Ranks: senders + 1})
+	defer f.Close()
+	dst := senders
+
+	var wg sync.WaitGroup
+	for s := 0; s < senders; s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perSender; i++ {
+				payload := []byte(fmt.Sprintf("%d:%d", s, i))
+				if err := f.Send(s, dst, s*1000+i, payload); err != nil {
+					t.Errorf("send %d/%d: %v", s, i, err)
+					return
+				}
+			}
+		}()
+	}
+
+	// Receive everything with wildcards while sends are still in flight.
+	seen := make([]int, senders) // next expected per-sender index
+	for n := 0; n < senders*perSender; n++ {
+		m, err := f.Recv(dst, AnySource, AnyTag)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := fmt.Sprintf("%d:%d", m.Src, seen[m.Src])
+		if string(m.Payload) != want {
+			t.Fatalf("msg %d from rank %d: got %q, want %q (non-overtaking violated)",
+				n, m.Src, m.Payload, want)
+		}
+		seen[m.Src]++
+	}
+	wg.Wait()
+	// Nothing should remain queued.
+	if _, ok, _ := f.TryRecv(dst, AnySource, AnyTag); ok {
+		t.Fatal("extra message queued after full drain")
+	}
+}
+
+func TestDoubleCloseFabric(t *testing.T) {
+	f := New(Config{Ranks: 2})
+	f.Close()
+	f.Close() // must be idempotent, not a panic or deadlock
+	if err := f.Send(0, 1, 0, []byte("x")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("send after close err = %v", err)
+	}
+	if _, err := f.Recv(1, AnySource, AnyTag); !errors.Is(err, ErrClosed) {
+		t.Fatalf("recv after close err = %v", err)
+	}
+	if _, _, err := f.TryRecv(1, AnySource, AnyTag); !errors.Is(err, ErrClosed) {
+		t.Fatalf("tryrecv after close err = %v", err)
+	}
+}
+
+func TestCloseUnblocksPendingRecv(t *testing.T) {
+	f := New(Config{Ranks: 2})
+	done := make(chan error, 1)
+	go func() {
+		_, err := f.Recv(1, AnySource, AnyTag)
+		done <- err
+	}()
+	f.Close()
+	if err := <-done; !errors.Is(err, ErrClosed) {
+		t.Fatalf("blocked recv unblocked with %v", err)
+	}
+}

@@ -32,6 +32,12 @@ var ErrClosed = errors.New("transport: fabric closed")
 // configured maximum message size.
 var ErrMessageTooLarge = errors.New("transport: message exceeds buffer limit")
 
+// ErrCrashed is reported by operations at a rank that fault injection has
+// killed (see FaultConfig.Crashes and Fabric.CrashRank): the simulated
+// process is dead, so its own sends and receives fail immediately, while
+// peers observe only silence.
+var ErrCrashed = errors.New("transport: rank crashed")
+
 // Config describes a fabric.
 type Config struct {
 	// Ranks is the number of endpoints (cluster nodes).
@@ -43,6 +49,10 @@ type Config struct {
 	// before it becomes receivable (see DelayConfig), so real executions
 	// exhibit genuine communication time rather than instant delivery.
 	Delay *DelayConfig
+	// Fault, when non-nil, enables deterministic fault injection: seeded
+	// drop/duplicate/reorder/corrupt/delay probabilities per link plus
+	// per-rank pause and crash schedules (see FaultConfig).
+	Fault *FaultConfig
 }
 
 // Message is one delivered payload.
@@ -52,10 +62,19 @@ type Message struct {
 }
 
 type mailbox struct {
-	mu     sync.Mutex
-	cond   *sync.Cond
-	queue  []Message
-	closed bool
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queue   []Message
+	closed  bool
+	crashed bool
+}
+
+// closeErr reports why a closed mailbox rejects operations. Callers hold mu.
+func (mb *mailbox) closeErr() error {
+	if mb.crashed {
+		return ErrCrashed
+	}
+	return ErrClosed
 }
 
 // Stats are cumulative traffic counters, readable while the fabric runs.
@@ -64,6 +83,8 @@ type Stats struct {
 	Bytes     int64
 	SentBytes []int64 // per source rank
 	RecvBytes []int64 // per destination rank
+	// Faults counts injected faults; all-zero without a FaultConfig.
+	Faults FaultStats
 }
 
 // Fabric connects Ranks endpoints. All methods are safe for concurrent use.
@@ -71,6 +92,8 @@ type Fabric struct {
 	cfg       Config
 	boxes     []*mailbox
 	delay     *delayer
+	faults    *injector
+	crashed   []atomic.Bool
 	messages  atomic.Int64
 	bytes     atomic.Int64
 	sentBytes []atomic.Int64
@@ -85,6 +108,7 @@ func New(cfg Config) *Fabric {
 	f := &Fabric{
 		cfg:       cfg,
 		boxes:     make([]*mailbox, cfg.Ranks),
+		crashed:   make([]atomic.Bool, cfg.Ranks),
 		sentBytes: make([]atomic.Int64, cfg.Ranks),
 		recvBytes: make([]atomic.Int64, cfg.Ranks),
 	}
@@ -95,6 +119,9 @@ func New(cfg Config) *Fabric {
 	}
 	if cfg.Delay != nil {
 		f.delay = newDelayer(*cfg.Delay, f)
+	}
+	if cfg.Fault != nil {
+		f.faults = newInjector(*cfg.Fault, f)
 	}
 	return f
 }
@@ -110,6 +137,9 @@ func (f *Fabric) Send(src, dst, tag int, payload []byte) error {
 	if src < 0 || src >= f.cfg.Ranks || dst < 0 || dst >= f.cfg.Ranks {
 		return fmt.Errorf("transport: send %d→%d out of range", src, dst)
 	}
+	if f.crashed[src].Load() {
+		return ErrCrashed
+	}
 	if f.cfg.MaxMessageBytes > 0 && len(payload) > f.cfg.MaxMessageBytes {
 		return fmt.Errorf("%w: %d bytes > limit %d", ErrMessageTooLarge, len(payload), f.cfg.MaxMessageBytes)
 	}
@@ -121,21 +151,33 @@ func (f *Fabric) Send(src, dst, tag int, payload []byte) error {
 	f.sentBytes[src].Add(int64(len(payload)))
 	f.recvBytes[dst].Add(int64(len(payload)))
 
+	if f.faults != nil {
+		if handled, err := f.faults.apply(src, dst, tag, cp); handled {
+			return err
+		}
+	}
+	return f.route(src, dst, tag, cp)
+}
+
+// route forwards an already-copied, already-metered payload through the
+// configured wire-delay simulator, or delivers it directly.
+func (f *Fabric) route(src, dst, tag int, payload []byte) error {
 	if f.delay != nil {
 		// Fail fast on an already-closed fabric so delayed sends report
-		// ErrClosed like direct sends do; a close racing the delivery
-		// still drops the message at deliver time.
+		// the close error like direct sends do; a close racing the
+		// delivery still drops the message at deliver time.
 		mb := f.boxes[dst]
 		mb.mu.Lock()
 		closed := mb.closed
+		err := mb.closeErr()
 		mb.mu.Unlock()
 		if closed {
-			return ErrClosed
+			return err
 		}
-		f.delay.submit(src, dst, tag, cp)
+		f.delay.submit(src, dst, tag, payload)
 		return nil
 	}
-	return f.deliver(src, dst, tag, cp)
+	return f.deliver(src, dst, tag, payload)
 }
 
 // deliver places an already-copied, already-metered payload into dst's
@@ -144,8 +186,9 @@ func (f *Fabric) deliver(src, dst, tag int, payload []byte) error {
 	mb := f.boxes[dst]
 	mb.mu.Lock()
 	if mb.closed {
+		err := mb.closeErr()
 		mb.mu.Unlock()
-		return ErrClosed
+		return err
 	}
 	mb.queue = append(mb.queue, Message{Src: src, Tag: tag, Payload: payload})
 	mb.cond.Broadcast()
@@ -172,7 +215,7 @@ func (f *Fabric) Recv(dst, src, tag int) (Message, error) {
 			}
 		}
 		if mb.closed {
-			return Message{}, ErrClosed
+			return Message{}, mb.closeErr()
 		}
 		mb.cond.Wait()
 	}
@@ -194,7 +237,7 @@ func (f *Fabric) TryRecv(dst, src, tag int) (Message, bool, error) {
 		}
 	}
 	if mb.closed {
-		return Message{}, false, ErrClosed
+		return Message{}, false, mb.closeErr()
 	}
 	return Message{}, false, nil
 }
@@ -209,6 +252,33 @@ func (f *Fabric) Close() {
 	}
 }
 
+// CrashRank kills rank r: its mailbox closes with ErrCrashed (unblocking
+// any receive it has pending), its own future sends fail with ErrCrashed,
+// and — under fault injection — traffic addressed to it is silently lost.
+// Idempotent. Simulates a process death mid-run.
+func (f *Fabric) CrashRank(r int) {
+	if r < 0 || r >= f.cfg.Ranks {
+		return
+	}
+	if f.crashed[r].Swap(true) {
+		return
+	}
+	mb := f.boxes[r]
+	mb.mu.Lock()
+	if !mb.closed {
+		mb.closed = true
+		mb.crashed = true
+		mb.cond.Broadcast()
+	}
+	mb.mu.Unlock()
+}
+
+// Crashed reports whether rank r has been killed. The retry/ack layer uses
+// this as its failure detector once acknowledgements stop arriving.
+func (f *Fabric) Crashed(r int) bool {
+	return r >= 0 && r < f.cfg.Ranks && f.crashed[r].Load()
+}
+
 // Stats returns a snapshot of cumulative traffic counters.
 func (f *Fabric) Stats() Stats {
 	s := Stats{
@@ -216,6 +286,9 @@ func (f *Fabric) Stats() Stats {
 		Bytes:     f.bytes.Load(),
 		SentBytes: make([]int64, f.cfg.Ranks),
 		RecvBytes: make([]int64, f.cfg.Ranks),
+	}
+	if f.faults != nil {
+		s.Faults = f.faults.snapshot()
 	}
 	for i := range s.SentBytes {
 		s.SentBytes[i] = f.sentBytes[i].Load()
