@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race chaos fuzz bench bench-baseline lint vet all
+.PHONY: build test race chaos chaos-resume fuzz fuzz-wal bench bench-baseline lint vet all
 
 all: vet build test
 
@@ -27,9 +27,23 @@ chaos:
 		./internal/transport/ ./internal/mpi/ ./internal/cluster/ \
 		./internal/parboil/sgemm/ ./internal/parboil/tpacf/
 
+# The checkpoint/resume suites under -race: a master killed mid-farm, the
+# WAL reopened by a fresh session, results bit-identical to an undisturbed
+# run — plus the cancellation-latency tests they depend on.
+chaos-resume:
+	$(GO) test -race -count=1 -timeout 5m \
+		-run 'Resume|Quarantine|Heartbeat|Cancel|Ctx' \
+		./internal/cluster/ ./internal/parboil/sgemm/ \
+		./internal/transport/ ./internal/mpi/
+
 # 30-second fuzz smoke over the wire-format decoders.
 fuzz:
 	$(GO) test -fuzz=FuzzSliceDecoders -fuzztime=30s ./internal/serial
+
+# Fuzz the checkpoint WAL decoder: arbitrary bytes must yield a valid
+# prefix, never a panic or a runaway allocation.
+fuzz-wal:
+	$(GO) test -fuzz=FuzzWALRecords -fuzztime=30s ./internal/checkpoint
 
 # Fused-pipeline regression gate against the checked-in baseline.
 bench:

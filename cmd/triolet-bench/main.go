@@ -40,6 +40,7 @@ func main() {
 	out := flag.String("out", "", "directory to also write figure files into (fig1.txt, fig3.csv, fig4.csv, ...)")
 	netLatUS := flag.Int("netlat", 0, "with -sweep: simulated per-message wire latency in microseconds")
 	netMBs := flag.Float64("netbw", 0, "with -sweep: simulated wire bandwidth in MB/s")
+	farmDemo := flag.Bool("farm-demo", false, "demo the supervised farm lifecycle: checkpoint to a WAL, kill the master mid-job, resume, quarantine a poison task")
 	benchGate := flag.Bool("bench-gate", false, "run the fused-pipeline regression benchmarks")
 	jsonOut := flag.Bool("json", false, "with -bench-gate: emit results as JSON")
 	baseline := flag.String("baseline", "", "with -bench-gate: compare ratios against this baseline file and fail on >25% regression")
@@ -48,6 +49,10 @@ func main() {
 
 	if *benchGate {
 		os.Exit(runBenchGate(*jsonOut, *baseline, *writeBaseline))
+	}
+
+	if *farmDemo {
+		os.Exit(runFarmDemo(*nodes))
 	}
 
 	if *verify {

@@ -1,0 +1,97 @@
+// Package checkpoint persists per-task farm progress so a restarted master
+// resumes a named job instead of recomputing it. The paper's runtime has no
+// such layer — a Triolet job that loses its master loses every completed
+// task (§3.4 assumes short-lived jobs on a lossless fabric); growing toward
+// long-running production jobs makes completed work worth durably keeping.
+//
+// A Store is an append-only log of Records. Session.FarmOpts appends one
+// record per finished task — a result, or a quarantined failure — before
+// counting the task done (write-ahead), and on startup replays the job's
+// records to skip already-finished tasks. Two implementations: Mem (tests,
+// single-process retries) and WAL (a file-backed, CRC-framed append-only
+// log that survives process death; see wal.go).
+package checkpoint
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Kind distinguishes record types in the log.
+type Kind uint8
+
+const (
+	// KindResult records a completed task and carries its result bytes.
+	KindResult Kind = 1
+	// KindFailed records a quarantined task — one that exhausted its
+	// attempts — and carries the final error message. On resume the task
+	// is not retried: a poison task stays quarantined across restarts.
+	KindFailed Kind = 2
+)
+
+func (k Kind) valid() bool { return k == KindResult || k == KindFailed }
+
+// Record is one per-task log entry.
+type Record struct {
+	// Job names the farm run; one store may interleave several jobs.
+	Job string
+	// Task is the task index within the job's task list.
+	Task int
+	// Kind says whether Payload is a result or a failure message.
+	Kind Kind
+	// Attempts is how many executions the task consumed (failures only).
+	Attempts int
+	// Payload is the task result (KindResult) or error text (KindFailed).
+	Payload []byte
+}
+
+// Store is an append-only checkpoint log. Implementations must be safe for
+// concurrent use: the master appends while monitors may load snapshots.
+type Store interface {
+	// Append durably adds one record. A record must be readable by Load
+	// once Append returns — the farm counts a task done only after its
+	// record is stored.
+	Append(rec Record) error
+	// Load returns every stored record for job, in append order.
+	Load(job string) ([]Record, error)
+	// Close releases the store's resources.
+	Close() error
+}
+
+// Mem is the in-memory Store: checkpointing semantics without durability.
+// Useful in tests and for retry-within-one-process scenarios.
+type Mem struct {
+	mu   sync.Mutex
+	recs []Record
+}
+
+// NewMem returns an empty in-memory store.
+func NewMem() *Mem { return &Mem{} }
+
+// Append adds one record.
+func (m *Mem) Append(rec Record) error {
+	if !rec.Kind.valid() {
+		return fmt.Errorf("checkpoint: invalid record kind %d", rec.Kind)
+	}
+	rec.Payload = append([]byte(nil), rec.Payload...)
+	m.mu.Lock()
+	m.recs = append(m.recs, rec)
+	m.mu.Unlock()
+	return nil
+}
+
+// Load returns job's records in append order.
+func (m *Mem) Load(job string) ([]Record, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var out []Record
+	for _, rec := range m.recs {
+		if rec.Job == job {
+			out = append(out, rec)
+		}
+	}
+	return out, nil
+}
+
+// Close is a no-op for the in-memory store.
+func (m *Mem) Close() error { return nil }

@@ -1,0 +1,191 @@
+package checkpoint
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func testRecords() []Record {
+	return []Record{
+		{Job: "job-a", Task: 0, Kind: KindResult, Payload: []byte("r0")},
+		{Job: "job-b", Task: 0, Kind: KindResult, Payload: []byte("other job")},
+		{Job: "job-a", Task: 2, Kind: KindFailed, Attempts: 3, Payload: []byte("poison")},
+		{Job: "job-a", Task: 1, Kind: KindResult, Payload: nil},
+	}
+}
+
+func assertJobA(t *testing.T, recs []Record) {
+	t.Helper()
+	if len(recs) != 3 {
+		t.Fatalf("job-a records = %d, want 3 (%+v)", len(recs), recs)
+	}
+	if recs[0].Task != 0 || !bytes.Equal(recs[0].Payload, []byte("r0")) {
+		t.Fatalf("record 0 = %+v", recs[0])
+	}
+	if recs[1].Kind != KindFailed || recs[1].Attempts != 3 || string(recs[1].Payload) != "poison" {
+		t.Fatalf("record 1 = %+v", recs[1])
+	}
+	if recs[2].Task != 1 || len(recs[2].Payload) != 0 {
+		t.Fatalf("record 2 = %+v", recs[2])
+	}
+}
+
+func TestMemStoreRoundTrip(t *testing.T) {
+	m := NewMem()
+	for _, rec := range testRecords() {
+		if err := m.Append(rec); err != nil {
+			t.Fatalf("append: %v", err)
+		}
+	}
+	recs, err := m.Load("job-a")
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	assertJobA(t, recs)
+	if err := m.Append(Record{Job: "x", Kind: Kind(9)}); err == nil {
+		t.Fatal("invalid kind accepted")
+	}
+}
+
+func TestWALRoundTripAcrossReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "job.wal")
+	w, err := OpenWAL(path)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	for _, rec := range testRecords() {
+		if err := w.Append(rec); err != nil {
+			t.Fatalf("append: %v", err)
+		}
+	}
+	recs, err := w.Load("job-a")
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	assertJobA(t, recs)
+	if err := w.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	// A "restarted master": a fresh handle must see the same records.
+	w2, err := OpenWAL(path)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer w2.Close()
+	recs, err = w2.Load("job-a")
+	if err != nil {
+		t.Fatalf("load after reopen: %v", err)
+	}
+	assertJobA(t, recs)
+	if w2.Records() != 4 {
+		t.Fatalf("Records = %d, want 4", w2.Records())
+	}
+	// And appending after a reopen lands on a clean frame boundary.
+	if err := w2.Append(Record{Job: "job-a", Task: 3, Kind: KindResult, Payload: []byte("late")}); err != nil {
+		t.Fatalf("append after reopen: %v", err)
+	}
+	recs, _ = w2.Load("job-a")
+	if len(recs) != 4 || string(recs[3].Payload) != "late" {
+		t.Fatalf("post-reopen append lost: %+v", recs)
+	}
+}
+
+func TestWALTruncatesTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "torn.wal")
+	w, err := OpenWAL(path)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	if err := w.Append(Record{Job: "j", Task: 0, Kind: KindResult, Payload: []byte("keep")}); err != nil {
+		t.Fatalf("append: %v", err)
+	}
+	w.Close()
+
+	// Simulate a crash mid-append: half a record at the tail.
+	torn := EncodeRecord(Record{Job: "j", Task: 1, Kind: KindResult, Payload: []byte("lost")})
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatalf("reopen raw: %v", err)
+	}
+	if _, err := f.Write(torn[:len(torn)-3]); err != nil {
+		t.Fatalf("write torn tail: %v", err)
+	}
+	f.Close()
+
+	w2, err := OpenWAL(path)
+	if err != nil {
+		t.Fatalf("reopen torn: %v", err)
+	}
+	defer w2.Close()
+	recs, _ := w2.Load("j")
+	if len(recs) != 1 || string(recs[0].Payload) != "keep" {
+		t.Fatalf("torn WAL records = %+v, want the one intact record", recs)
+	}
+	// The torn bytes must be gone so new appends frame cleanly.
+	if err := w2.Append(Record{Job: "j", Task: 1, Kind: KindResult, Payload: []byte("redo")}); err != nil {
+		t.Fatalf("append after truncate: %v", err)
+	}
+	w2.Close()
+	w3, err := OpenWAL(path)
+	if err != nil {
+		t.Fatalf("final reopen: %v", err)
+	}
+	defer w3.Close()
+	recs, _ = w3.Load("j")
+	if len(recs) != 2 || string(recs[1].Payload) != "redo" {
+		t.Fatalf("records after redo = %+v", recs)
+	}
+}
+
+func TestWALRejectsCorruptRecordAndForeignFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bits.wal")
+	w, err := OpenWAL(path)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	w.Append(Record{Job: "j", Task: 0, Kind: KindResult, Payload: []byte("aaaa")})
+	w.Append(Record{Job: "j", Task: 1, Kind: KindResult, Payload: []byte("bbbb")})
+	w.Close()
+
+	// Flip a bit inside the first record: it and everything after become
+	// unreadable (the framing cannot resynchronize past a bad CRC).
+	data, _ := os.ReadFile(path)
+	data[len(WALMagic)+10] ^= 0x01
+	os.WriteFile(path, data, 0o644)
+	w2, err := OpenWAL(path)
+	if err != nil {
+		t.Fatalf("reopen corrupt: %v", err)
+	}
+	recs, _ := w2.Load("j")
+	w2.Close()
+	if len(recs) != 0 {
+		t.Fatalf("corrupt record decoded: %+v", recs)
+	}
+
+	// A file without the magic is refused outright.
+	foreign := filepath.Join(dir, "foreign")
+	os.WriteFile(foreign, []byte("definitely not a WAL"), 0o644)
+	if _, err := OpenWAL(foreign); !errors.Is(err, ErrNotWAL) {
+		t.Fatalf("foreign file error = %v, want ErrNotWAL", err)
+	}
+}
+
+func TestDecodeRecordsStopsAtGarbage(t *testing.T) {
+	var stream []byte
+	stream = append(stream, EncodeRecord(Record{Job: "j", Task: 7, Kind: KindResult, Payload: []byte("x")})...)
+	good := len(stream)
+	stream = append(stream, 0xFF, 0xFF, 0xFF, 0x7F) // absurd length header
+
+	recs, n := DecodeRecords(stream)
+	if len(recs) != 1 || recs[0].Task != 7 {
+		t.Fatalf("recs = %+v", recs)
+	}
+	if n != good {
+		t.Fatalf("valid prefix = %d, want %d", n, good)
+	}
+}

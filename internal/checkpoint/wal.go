@@ -1,0 +1,194 @@
+package checkpoint
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"sync"
+
+	"triolet/internal/serial"
+)
+
+// File-backed write-ahead log. On-disk layout:
+//
+//	magic:   8 bytes "TRIOWAL1"
+//	record:  u32 LE frame length ‖ frame
+//	frame:   body ‖ u32 LE crc32(body)   (serial CRC framing)
+//	body:    String(job) ‖ U8(kind) ‖ Int(task) ‖ Int(attempts) ‖
+//	         RawBytes(payload)           (internal/serial encoding)
+//
+// Appends are single write(2) calls followed by fsync, so a record is
+// either fully present or torn at the tail. Opening the file scans the
+// valid prefix and truncates anything after it — a torn tail from a crash
+// mid-append is discarded, never misparsed, and later appends start from a
+// clean frame boundary. A flipped bit anywhere in a record fails its CRC
+// and ends the valid prefix there (everything after an unreadable record
+// is unreachable by the framing, so it is dropped too).
+
+// WALMagic identifies a checkpoint WAL file.
+const WALMagic = "TRIOWAL1"
+
+// ErrNotWAL reports that an existing file does not carry the WAL magic.
+var ErrNotWAL = errors.New("checkpoint: not a WAL file")
+
+// maxWALRecord caps one record's frame size (64 MiB): a corrupt length
+// header must not read as a multi-gigabyte allocation.
+const maxWALRecord = 64 << 20
+
+// EncodeRecord frames one record for the WAL (length ‖ body ‖ CRC).
+func EncodeRecord(rec Record) []byte {
+	w := serial.NewWriter(len(rec.Payload) + len(rec.Job) + 64)
+	w.String(rec.Job)
+	w.U8(uint8(rec.Kind))
+	w.Int(rec.Task)
+	w.Int(rec.Attempts)
+	w.RawBytes(rec.Payload)
+	w.FinishCRC()
+	frame := w.Bytes()
+	out := make([]byte, 0, 4+len(frame))
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(frame)))
+	return append(out, frame...)
+}
+
+// DecodeRecords parses the longest valid prefix of a record stream (the
+// file content after the magic). It returns the decoded records and the
+// number of bytes that prefix occupies; a torn or corrupt tail simply ends
+// the prefix. It never panics on arbitrary input and never allocates more
+// than the input holds — the WAL fuzz target pins both properties.
+func DecodeRecords(b []byte) (recs []Record, n int) {
+	for {
+		rest := b[n:]
+		if len(rest) < 4 {
+			return recs, n
+		}
+		frameLen := int(binary.LittleEndian.Uint32(rest[:4]))
+		if frameLen < 4 || frameLen > maxWALRecord || frameLen > len(rest)-4 {
+			return recs, n
+		}
+		body, ok := serial.VerifyCRC(rest[4 : 4+frameLen])
+		if !ok {
+			return recs, n
+		}
+		r := serial.NewReader(body)
+		rec := Record{
+			Job:      r.String(),
+			Kind:     Kind(r.U8()),
+			Task:     r.Int(),
+			Attempts: r.Int(),
+			Payload:  r.RawBytes(),
+		}
+		if r.Err() != nil || r.Remaining() != 0 || !rec.Kind.valid() {
+			return recs, n
+		}
+		recs = append(recs, rec)
+		n += 4 + frameLen
+	}
+}
+
+// WAL is the file-backed Store.
+type WAL struct {
+	mu   sync.Mutex
+	f    *os.File
+	recs []Record // every valid record in the file, all jobs
+}
+
+// OpenWAL opens (or creates) the WAL at path. An existing file is scanned:
+// its valid record prefix becomes the in-memory snapshot and any torn tail
+// is truncated away so subsequent appends land on a frame boundary.
+func OpenWAL(path string) (*WAL, error) {
+	data, err := os.ReadFile(path)
+	if err != nil && !errors.Is(err, fs.ErrNotExist) {
+		return nil, fmt.Errorf("checkpoint: open WAL: %w", err)
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: open WAL: %w", err)
+	}
+	w := &WAL{f: f}
+	if len(data) == 0 {
+		if _, err := f.Write([]byte(WALMagic)); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("checkpoint: write WAL magic: %w", err)
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("checkpoint: sync WAL: %w", err)
+		}
+		return w, nil
+	}
+	if len(data) < len(WALMagic) || string(data[:len(WALMagic)]) != WALMagic {
+		f.Close()
+		return nil, fmt.Errorf("%w: %s", ErrNotWAL, path)
+	}
+	recs, valid := DecodeRecords(data[len(WALMagic):])
+	w.recs = recs
+	end := int64(len(WALMagic) + valid)
+	if end < int64(len(data)) {
+		if err := f.Truncate(end); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("checkpoint: truncate torn WAL tail: %w", err)
+		}
+	}
+	if _, err := f.Seek(end, 0); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("checkpoint: seek WAL: %w", err)
+	}
+	return w, nil
+}
+
+// Append durably writes one record: a single write, then fsync. The record
+// is visible to Load as soon as Append returns.
+func (w *WAL) Append(rec Record) error {
+	if !rec.Kind.valid() {
+		return fmt.Errorf("checkpoint: invalid record kind %d", rec.Kind)
+	}
+	rec.Payload = append([]byte(nil), rec.Payload...)
+	frame := EncodeRecord(rec)
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return fmt.Errorf("checkpoint: WAL is closed")
+	}
+	if _, err := w.f.Write(frame); err != nil {
+		return fmt.Errorf("checkpoint: append WAL record: %w", err)
+	}
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("checkpoint: sync WAL: %w", err)
+	}
+	w.recs = append(w.recs, rec)
+	return nil
+}
+
+// Load returns job's records in append order.
+func (w *WAL) Load(job string) ([]Record, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	var out []Record
+	for _, rec := range w.recs {
+		if rec.Job == job {
+			out = append(out, rec)
+		}
+	}
+	return out, nil
+}
+
+// Records reports how many records the WAL holds across all jobs.
+func (w *WAL) Records() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return len(w.recs)
+}
+
+// Close closes the underlying file; further Appends fail.
+func (w *WAL) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return nil
+	}
+	err := w.f.Close()
+	w.f = nil
+	return err
+}

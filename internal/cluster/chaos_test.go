@@ -263,7 +263,10 @@ func TestFarmTypedUnderLossyFabric(t *testing.T) {
 	}
 }
 
-func TestFarmErrorPropagates(t *testing.T) {
+// A deterministically failing task must not kill the job: the supervisor
+// retries it MaxAttempts times and then quarantines it in Failed, while
+// every other task still completes.
+func TestFarmErrorQuarantinesPoisonTask(t *testing.T) {
 	resetRegistry()
 	resetFarmRegistry()
 	RegisterFarm("chaos.failing", func(n *Node, task []byte) ([]byte, error) {
@@ -276,10 +279,31 @@ func TestFarmErrorPropagates(t *testing.T) {
 		Nodes: 3, CoresPerNode: 1,
 		Reliable: fastRetry(),
 	}, func(s *Session) error {
-		_, err := s.Farm("chaos.failing", [][]byte{{0}, {1}, {2}, {3}})
-		return err
+		fr, err := s.Farm("chaos.failing", [][]byte{{0}, {1}, {2}, {3}})
+		if err != nil {
+			return err
+		}
+		if len(fr.Failed) != 1 {
+			return fmt.Errorf("Failed = %+v, want exactly the poison task", fr.Failed)
+		}
+		f := fr.Failed[0]
+		if f.Task != 2 || f.Attempts != 3 || !strings.Contains(f.Err, "refused") {
+			return fmt.Errorf("quarantine record = %+v", f)
+		}
+		if fr.Results[2] != nil {
+			return fmt.Errorf("quarantined task has a result: %x", fr.Results[2])
+		}
+		for _, i := range []int{0, 1, 3} {
+			if len(fr.Results[i]) != 1 || fr.Results[i][0] != byte(i) {
+				return fmt.Errorf("task %d result = %x", i, fr.Results[i])
+			}
+		}
+		if fr.Retried < 2 {
+			return fmt.Errorf("Retried = %d, want >= 2 (poison task re-executions)", fr.Retried)
+		}
+		return nil
 	})
-	if err == nil || !strings.Contains(err.Error(), "refused") {
-		t.Fatalf("farm task error not propagated: %v", err)
+	if err != nil {
+		t.Fatalf("farm with poison task: %v", err)
 	}
 }

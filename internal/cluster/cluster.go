@@ -14,9 +14,11 @@
 package cluster
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"triolet/internal/mpi"
 	"triolet/internal/sched"
@@ -54,6 +56,12 @@ type Config struct {
 	// master→worker control messages, so a lost rank degrades the
 	// session instead of wedging the tree.
 	Reliable *mpi.ReliableConfig
+	// FarmHeartbeat is the interval at which farm workers send liveness
+	// beats to the master while a farm kernel is active (0 = 1ms). The
+	// master's health monitor retires workers whose beats stop (see
+	// FarmOptions.HeartbeatTimeout). Both sides read this config under
+	// the SPMD assumption that every node runs the same binary.
+	FarmHeartbeat time.Duration
 }
 
 // TotalCores reports Nodes × CoresPerNode.
@@ -199,8 +207,19 @@ func (s *Session) dispatch(name string) (lost []int, err error) {
 // Session, runs kernel-dispatch loops on all other ranks, and tears
 // everything down. Fabric traffic statistics from the run are returned.
 func Run(cfg Config, master func(s *Session) error) (transport.Stats, error) {
+	return RunCtx(context.Background(), cfg, master)
+}
+
+// RunCtx is Run under a context. The context is attached to every rank's
+// communicator, so cancelling it unwinds the whole session promptly: each
+// blocked send/receive/collective returns ctx.Err(), no rank wedges, and
+// RunCtx returns once every node goroutine has exited.
+func RunCtx(ctx context.Context, cfg Config, master func(s *Session) error) (transport.Stats, error) {
 	if err := cfg.validate(); err != nil {
 		return transport.Stats{}, err
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	fabric := transport.New(transport.Config{
 		Ranks:           cfg.Nodes,
@@ -216,8 +235,10 @@ func Run(cfg Config, master func(s *Session) error) (transport.Stats, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			comm := newComm(fabric, r, cfg)
+			comm.SetContext(ctx)
 			node := &Node{
-				Comm:   newComm(fabric, r, cfg),
+				Comm:   comm,
 				Pool:   sched.NewPool(cfg.CoresPerNode),
 				Tracer: cfg.Tracer,
 				cfg:    cfg,

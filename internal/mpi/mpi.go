@@ -12,6 +12,7 @@
 package mpi
 
 import (
+	"context"
 	"fmt"
 
 	"triolet/internal/transport"
@@ -32,6 +33,7 @@ type Comm struct {
 	f   *transport.Fabric
 	seq int
 	rel *reliable
+	ctx context.Context
 }
 
 // NewComm returns rank's communicator over f. Delivery is direct: the
@@ -58,22 +60,42 @@ func NewReliableComm(f *transport.Fabric, rank int, cfg ReliableConfig) *Comm {
 // acknowledged-delivery mode.
 func (c *Comm) ReliableEnabled() bool { return c.rel != nil }
 
+// SetContext attaches a base context to the communicator: every blocking
+// operation (point-to-point and the sends/receives inside collectives)
+// observes its cancellation and returns ctx.Err() promptly instead of
+// blocking forever. The cluster runtime sets each rank's context from the
+// job's, so cancelling a job unwinds every rank. Call before the
+// communicator is in use; a nil or absent context means Background (block
+// forever, the paper's MPI semantics).
+func (c *Comm) SetContext(ctx context.Context) { c.ctx = ctx }
+
+// Context returns the communicator's base context (Background when unset).
+func (c *Comm) Context() context.Context {
+	if c.ctx == nil {
+		return context.Background()
+	}
+	return c.ctx
+}
+
 // send is the internal point-to-point send every operation (user sends and
 // collectives) routes through; it applies the ack/retry protocol when
 // reliable mode is on.
-func (c *Comm) send(dst, tag int, payload []byte) error {
+func (c *Comm) send(ctx context.Context, dst, tag int, payload []byte) error {
 	if c.rel != nil {
-		return c.rel.send(dst, tag, payload)
+		return c.rel.send(ctx, dst, tag, payload)
+	}
+	if err := ctx.Err(); err != nil {
+		return err
 	}
 	return c.ep.Send(dst, tag, payload)
 }
 
 // recvMsg is the matching internal receive.
-func (c *Comm) recvMsg(src, tag int) (transport.Message, error) {
+func (c *Comm) recvMsg(ctx context.Context, src, tag int) (transport.Message, error) {
 	if c.rel != nil {
-		return c.rel.recv(src, tag)
+		return c.rel.recv(ctx, src, tag)
 	}
-	return c.ep.Recv(src, tag)
+	return c.ep.RecvCtx(ctx, src, tag)
 }
 
 // tryRecvMsg is the non-blocking internal receive.
@@ -92,19 +114,37 @@ func (c *Comm) Size() int { return c.ep.Ranks() }
 
 // Send delivers payload to dst with a user tag.
 func (c *Comm) Send(dst, tag int, payload []byte) error {
+	return c.SendCtx(c.Context(), dst, tag, payload)
+}
+
+// SendCtx is Send under an explicit context: cancellation abandons the
+// delivery (including mid-retry in reliable mode) with ctx.Err().
+func (c *Comm) SendCtx(ctx context.Context, dst, tag int, payload []byte) error {
 	if tag < 0 || tag > MaxUserTag {
 		return fmt.Errorf("mpi: user tag %d out of range", tag)
 	}
-	return c.send(dst, tag, payload)
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return c.send(ctx, dst, tag, payload)
 }
 
 // Recv blocks for a message matching (src, tag); src may be
 // transport.AnySource.
 func (c *Comm) Recv(src, tag int) (transport.Message, error) {
+	return c.RecvCtx(c.Context(), src, tag)
+}
+
+// RecvCtx is Recv under an explicit context: cancellation unblocks the
+// wait with ctx.Err().
+func (c *Comm) RecvCtx(ctx context.Context, src, tag int) (transport.Message, error) {
 	if tag != transport.AnyTag && (tag < 0 || tag > MaxUserTag) {
 		return transport.Message{}, fmt.Errorf("mpi: user tag %d out of range", tag)
 	}
-	return c.recvMsg(src, tag)
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return c.recvMsg(ctx, src, tag)
 }
 
 // TryRecv is the non-blocking variant of Recv; ok is false when no
@@ -125,26 +165,27 @@ func (c *Comm) nextTag() int {
 // Barrier blocks until every rank has entered the barrier: a binomial-tree
 // gather to rank 0 followed by a tree broadcast of the release.
 func (c *Comm) Barrier() error {
+	ctx := c.Context()
 	tag := c.nextTag()
-	if err := c.treeGatherSignal(tag); err != nil {
+	if err := c.treeGatherSignal(ctx, tag); err != nil {
 		return fmt.Errorf("mpi: barrier gather: %w", err)
 	}
-	if _, err := c.treeBcast(tag, nil); err != nil {
+	if _, err := c.treeBcast(ctx, tag, nil); err != nil {
 		return fmt.Errorf("mpi: barrier release: %w", err)
 	}
 	return nil
 }
 
 // treeGatherSignal collapses an empty token up the binomial tree to rank 0.
-func (c *Comm) treeGatherSignal(tag int) error {
+func (c *Comm) treeGatherSignal(ctx context.Context, tag int) error {
 	rank, size := c.Rank(), c.Size()
 	for dist := 1; dist < size; dist <<= 1 {
 		if rank&dist != 0 {
-			return c.send(rank-dist, tag, nil)
+			return c.send(ctx, rank-dist, tag, nil)
 		}
 		peer := rank + dist
 		if peer < size {
-			if _, err := c.recvMsg(peer, tag); err != nil {
+			if _, err := c.recvMsg(ctx, peer, tag); err != nil {
 				return err
 			}
 		}
@@ -156,12 +197,12 @@ func (c *Comm) treeGatherSignal(tag int) error {
 // ignore their data argument and return the received payload. A rank's
 // parent is rank minus its lowest set bit; after receiving it forwards to
 // rank+mask for each mask below that bit — the classic binomial broadcast.
-func (c *Comm) treeBcast(tag int, data []byte) ([]byte, error) {
+func (c *Comm) treeBcast(ctx context.Context, tag int, data []byte) ([]byte, error) {
 	rank, size := c.Rank(), c.Size()
 	mask := 1
 	for mask < size {
 		if rank&mask != 0 {
-			m, err := c.recvMsg(rank-mask, tag)
+			m, err := c.recvMsg(ctx, rank-mask, tag)
 			if err != nil {
 				return nil, err
 			}
@@ -172,7 +213,7 @@ func (c *Comm) treeBcast(tag int, data []byte) ([]byte, error) {
 	}
 	for mask >>= 1; mask > 0; mask >>= 1 {
 		if peer := rank + mask; peer < size {
-			if err := c.send(peer, tag, data); err != nil {
+			if err := c.send(ctx, peer, tag, data); err != nil {
 				return nil, err
 			}
 		}
@@ -183,24 +224,25 @@ func (c *Comm) treeBcast(tag int, data []byte) ([]byte, error) {
 // Bcast distributes root's payload to every rank and returns it. Non-root
 // ranks pass nil.
 func (c *Comm) Bcast(root int, data []byte) ([]byte, error) {
+	ctx := c.Context()
 	tag := c.nextTag()
 	if root != 0 {
 		// Rotate so the tree is rooted at 0 logically: root forwards to 0
 		// first. Simple and rare; the benchmarks root at 0.
 		if c.Rank() == root {
-			if err := c.send(0, tag, data); err != nil {
+			if err := c.send(ctx, 0, tag, data); err != nil {
 				return nil, err
 			}
 		}
 		if c.Rank() == 0 {
-			m, err := c.recvMsg(root, tag)
+			m, err := c.recvMsg(ctx, root, tag)
 			if err != nil {
 				return nil, err
 			}
 			data = m.Payload
 		}
 	}
-	return c.treeBcast(c.nextTag(), data)
+	return c.treeBcast(ctx, c.nextTag(), data)
 }
 
 // Scatter sends parts[i] to rank i and returns this rank's part. Only root
@@ -208,6 +250,7 @@ func (c *Comm) Bcast(root int, data []byte) ([]byte, error) {
 // direct sends from root — the paper's runtime likewise sends each node its
 // slice directly (§3.5).
 func (c *Comm) Scatter(root int, parts [][]byte) ([]byte, error) {
+	ctx := c.Context()
 	tag := c.nextTag()
 	if c.Rank() == root {
 		if len(parts) != c.Size() {
@@ -217,13 +260,13 @@ func (c *Comm) Scatter(root int, parts [][]byte) ([]byte, error) {
 			if dst == root {
 				continue
 			}
-			if err := c.send(dst, tag, p); err != nil {
+			if err := c.send(ctx, dst, tag, p); err != nil {
 				return nil, err
 			}
 		}
 		return parts[root], nil
 	}
-	m, err := c.recvMsg(root, tag)
+	m, err := c.recvMsg(ctx, root, tag)
 	if err != nil {
 		return nil, err
 	}
@@ -233,14 +276,15 @@ func (c *Comm) Scatter(root int, parts [][]byte) ([]byte, error) {
 // Gather collects every rank's payload at root; the returned slice is
 // indexed by rank at root and nil elsewhere.
 func (c *Comm) Gather(root int, mine []byte) ([][]byte, error) {
+	ctx := c.Context()
 	tag := c.nextTag()
 	if c.Rank() != root {
-		return nil, c.send(root, tag, mine)
+		return nil, c.send(ctx, root, tag, mine)
 	}
 	out := make([][]byte, c.Size())
 	out[root] = mine
 	for i := 0; i < c.Size()-1; i++ {
-		m, err := c.recvMsg(transport.AnySource, tag)
+		m, err := c.recvMsg(ctx, transport.AnySource, tag)
 		if err != nil {
 			return nil, err
 		}
@@ -253,19 +297,20 @@ func (c *Comm) Gather(root int, mine []byte) ([][]byte, error) {
 // binomial tree; combine must be associative. Returns (result, true) at
 // rank 0 and (nil, false) elsewhere.
 func (c *Comm) ReduceBytes(mine []byte, combine func(a, b []byte) ([]byte, error)) ([]byte, bool, error) {
+	ctx := c.Context()
 	tag := c.nextTag()
 	rank, size := c.Rank(), c.Size()
 	acc := mine
 	for dist := 1; dist < size; dist <<= 1 {
 		if rank&dist != 0 {
-			if err := c.send(rank-dist, tag, acc); err != nil {
+			if err := c.send(ctx, rank-dist, tag, acc); err != nil {
 				return nil, false, err
 			}
 			return nil, false, nil
 		}
 		peer := rank + dist
 		if peer < size {
-			m, err := c.recvMsg(peer, tag)
+			m, err := c.recvMsg(ctx, peer, tag)
 			if err != nil {
 				return nil, false, err
 			}

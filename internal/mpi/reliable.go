@@ -1,9 +1,9 @@
 package mpi
 
 import (
+	"context"
 	"errors"
 	"fmt"
-	"hash/crc32"
 	"sync"
 	"time"
 
@@ -157,7 +157,7 @@ func encodeData(seq uint64, tag int, payload []byte) []byte {
 	w.U64(seq)
 	w.Int(tag)
 	w.RawBytes(payload)
-	w.U32(crc32.ChecksumIEEE(w.Bytes()))
+	w.FinishCRC()
 	return w.Bytes()
 }
 
@@ -166,7 +166,7 @@ func encodeAck(seq uint64) []byte {
 	w := serial.NewWriter(16)
 	w.U8(kindAck)
 	w.U64(seq)
-	w.U32(crc32.ChecksumIEEE(w.Bytes()))
+	w.FinishCRC()
 	return w.Bytes()
 }
 
@@ -174,12 +174,8 @@ func encodeAck(seq uint64) []byte {
 // false for anything malformed — short, checksum mismatch, bad kind, or
 // trailing garbage — which the protocol treats as corruption in flight.
 func decodeFrame(b []byte) (kind uint8, seq uint64, tag int, payload []byte, ok bool) {
-	if len(b) < 4 {
-		return 0, 0, 0, nil, false
-	}
-	body, sum := b[:len(b)-4], b[len(b)-4:]
-	r := serial.NewReader(sum)
-	if crc32.ChecksumIEEE(body) != r.U32() {
+	body, valid := serial.VerifyCRC(b)
+	if !valid {
 		return 0, 0, 0, nil, false
 	}
 	br := serial.NewReader(body)
@@ -289,11 +285,26 @@ func (r *reliable) enqueue(src, tag int, payload []byte) {
 	r.stats.Delivered++
 }
 
+// sleepCtx sleeps for d or until ctx is cancelled, whichever is first.
+func sleepCtx(ctx context.Context, d time.Duration) {
+	if ctx.Done() == nil {
+		time.Sleep(d)
+		return
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+	case <-t.C:
+	}
+}
+
 // send transmits one message with ack/retry. It blocks until the receiver
 // acknowledges (stop-and-wait; collectives send sequentially anyway) and
 // keeps serving incoming frames while it waits, so two ranks sending to
-// each other cannot deadlock.
-func (r *reliable) send(dst, tag int, payload []byte) error {
+// each other cannot deadlock. Cancelling ctx abandons the send within one
+// poll interval.
+func (r *reliable) send(ctx context.Context, dst, tag int, payload []byte) error {
 	rank := r.c.Rank()
 	if dst == rank {
 		// Local delivery: no wire, no frames.
@@ -317,6 +328,9 @@ func (r *reliable) send(dst, tag int, payload []byte) error {
 		return err
 	}
 	for attempt := 0; ; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return finish(err)
+		}
 		if attempt > r.cfg.Retries {
 			return finish(&RankLostError{Rank: dst, Attempts: attempt})
 		}
@@ -360,10 +374,13 @@ func (r *reliable) send(dst, tag int, payload []byte) error {
 			if err != nil {
 				return finish(err)
 			}
+			if cerr := ctx.Err(); cerr != nil {
+				return finish(cerr)
+			}
 			if time.Now().After(deadline) {
 				break
 			}
-			time.Sleep(r.cfg.PollInterval)
+			sleepCtx(ctx, r.cfg.PollInterval)
 		}
 		timeout = time.Duration(float64(timeout) * r.cfg.Backoff)
 		if timeout > r.cfg.MaxAckTimeout {
@@ -388,8 +405,9 @@ func (r *reliable) match(src, tag int) (transport.Message, bool) {
 
 // recv blocks until a reassembled delivery matches (src, tag). A crashed
 // specific source fails fast with RankLostError; RecvTimeout (if set)
-// bounds the overall wait.
-func (r *reliable) recv(src, tag int) (transport.Message, error) {
+// bounds the overall wait, and cancelling ctx abandons it within one poll
+// interval.
+func (r *reliable) recv(ctx context.Context, src, tag int) (transport.Message, error) {
 	var deadline time.Time
 	if r.cfg.RecvTimeout > 0 {
 		deadline = time.Now().Add(r.cfg.RecvTimeout)
@@ -415,6 +433,9 @@ func (r *reliable) recv(src, tag int) (transport.Message, error) {
 		if progress {
 			continue
 		}
+		if cerr := ctx.Err(); cerr != nil {
+			return transport.Message{}, cerr
+		}
 		if src != transport.AnySource && src != r.c.Rank() && r.c.f.Crashed(src) {
 			return transport.Message{}, &RankLostError{Rank: src}
 		}
@@ -422,7 +443,7 @@ func (r *reliable) recv(src, tag int) (transport.Message, error) {
 			return transport.Message{}, fmt.Errorf("mpi: recv(src=%d, tag=%d) timed out after %v: %w",
 				src, tag, r.cfg.RecvTimeout, ErrRankLost)
 		}
-		time.Sleep(r.cfg.PollInterval)
+		sleepCtx(ctx, r.cfg.PollInterval)
 	}
 }
 

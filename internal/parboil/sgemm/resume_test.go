@@ -1,0 +1,127 @@
+package sgemm
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"triolet/internal/checkpoint"
+	"triolet/internal/cluster"
+	"triolet/internal/serial"
+)
+
+// Workload-level checkpoint/resume: sgemm rows as farm tasks. The job's
+// master is killed mid-run and restarted against the same store, and the
+// resumed matrix must agree bit-exactly with the sequential kernel — rows
+// restored from the checkpoint and rows computed after the restart alike.
+
+// rowFarmOnce registers the per-row farm kernel: the kernel registry is
+// process-global, so the registration must survive repeated test runs.
+var rowFarmOnce sync.Once
+
+func registerRowFarm() {
+	rowFarmOnce.Do(func() {
+		cluster.RegisterFarm("sgemm.row", func(n *cluster.Node, task []byte) ([]byte, error) {
+			time.Sleep(time.Millisecond) // pace the job so the mid-run kill lands mid-run
+			r := serial.NewReader(task)
+			alpha := r.F32()
+			row := r.F32Slice()
+			k := r.Int()
+			bt := r.F32Slice()
+			if r.Err() != nil {
+				return nil, r.Err()
+			}
+			nCols := len(bt) / k
+			w := serial.NewWriter(4 * nCols)
+			for j := 0; j < nCols; j++ {
+				w.F32(RowDot(alpha, row, bt[j*k:(j+1)*k]))
+			}
+			return w.Bytes(), nil
+		})
+	})
+}
+
+func TestResumeRowsBitExact(t *testing.T) {
+	registerRowFarm()
+	in := Gen(24, 16, 12, 7)
+	seq := Seq(in)
+
+	// One task per row of C: α, the A row, K, and all of Bᵀ (row-major).
+	bt := make([]float32, 0, in.B.W*in.B.H)
+	for j := 0; j < in.B.W; j++ {
+		for k := 0; k < in.B.H; k++ {
+			bt = append(bt, in.B.Row(k)[j])
+		}
+	}
+	tasks := make([][]byte, in.A.H)
+	for i := range tasks {
+		w := serial.NewWriter(4 * (in.A.W + len(bt) + 4))
+		w.F32(in.Alpha)
+		w.F32Slice(in.A.Row(i))
+		w.Int(in.B.H)
+		w.F32Slice(bt)
+		tasks[i] = w.Bytes()
+	}
+
+	store := checkpoint.NewMem()
+	// First life: kill the session (context cancel) once half the rows
+	// are checkpointed.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	half := len(tasks) / 2
+	go func() {
+		for ctx.Err() == nil {
+			recs, _ := store.Load("sgemm")
+			if len(recs) >= half {
+				cancel()
+				return
+			}
+			time.Sleep(100 * time.Microsecond)
+		}
+	}()
+	_, err := cluster.RunCtx(ctx, cluster.Config{Nodes: 3, CoresPerNode: 1}, func(s *cluster.Session) error {
+		_, err := s.FarmOpts("sgemm.row", tasks, cluster.FarmOptions{Checkpoint: store, Job: "sgemm"})
+		return err
+	})
+	if err == nil {
+		t.Skip("first life finished before the kill on this machine; nothing to resume")
+	}
+
+	// Second life completes the matrix from the checkpoint.
+	var fr *cluster.FarmResult
+	done := make(chan error, 1)
+	go func() {
+		_, err := cluster.Run(cluster.Config{Nodes: 3, CoresPerNode: 1}, func(s *cluster.Session) error {
+			var err error
+			fr, err = s.FarmOpts("sgemm.row", tasks, cluster.FarmOptions{Checkpoint: store, Job: "sgemm"})
+			return err
+		})
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("second life: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("resumed session hung")
+	}
+	if fr.Resumed == 0 {
+		t.Fatal("nothing resumed despite the mid-job kill")
+	}
+	if len(fr.Failed) != 0 {
+		t.Fatalf("quarantined rows: %+v", fr.Failed)
+	}
+	for i := 0; i < in.A.H; i++ {
+		r := serial.NewReader(fr.Results[i])
+		for j := 0; j < in.B.W; j++ {
+			if got, want := r.F32(), seq.Row(i)[j]; got != want {
+				t.Fatalf("C[%d][%d] = %v, want %v (bit-exact)", i, j, got, want)
+			}
+		}
+		if r.Err() != nil || r.Remaining() != 0 {
+			t.Fatalf("row %d malformed: %v, %d bytes left", i, r.Err(), r.Remaining())
+		}
+	}
+}

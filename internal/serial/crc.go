@@ -1,0 +1,32 @@
+package serial
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+)
+
+// CRC framing: the convention shared by every checksummed record in the
+// runtime — the ack/retry wire frames (internal/mpi) and the checkpoint
+// WAL (internal/checkpoint). A frame is body ++ crc32(body), little-endian
+// IEEE, so a flipped bit anywhere in the record fails verification and the
+// reader treats the record as corruption in flight (or a torn tail on
+// disk) rather than decoding garbage.
+
+// FinishCRC appends the CRC-32 (IEEE) of everything written so far,
+// closing the frame. Nothing may be written afterwards.
+func (w *Writer) FinishCRC() {
+	w.U32(crc32.ChecksumIEEE(w.buf))
+}
+
+// VerifyCRC splits a CRC-terminated frame into its body. ok is false when
+// the frame is too short or the trailing checksum does not match.
+func VerifyCRC(b []byte) (body []byte, ok bool) {
+	if len(b) < 4 {
+		return nil, false
+	}
+	body, sum := b[:len(b)-4], b[len(b)-4:]
+	if crc32.ChecksumIEEE(body) != binary.LittleEndian.Uint32(sum) {
+		return nil, false
+	}
+	return body, true
+}

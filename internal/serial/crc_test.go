@@ -1,0 +1,56 @@
+package serial
+
+import "testing"
+
+func TestCRCFrameRoundTrip(t *testing.T) {
+	w := NewWriter(0)
+	w.String("job")
+	w.Int(42)
+	w.FinishCRC()
+	frame := w.Bytes()
+
+	body, ok := VerifyCRC(frame)
+	if !ok {
+		t.Fatal("valid frame failed verification")
+	}
+	r := NewReader(body)
+	if got := r.String(); got != "job" {
+		t.Fatalf("String = %q, want %q", got, "job")
+	}
+	if got := r.Int(); got != 42 {
+		t.Fatalf("Int = %d, want 42", got)
+	}
+	if r.Err() != nil || r.Remaining() != 0 {
+		t.Fatalf("body not fully consumed: err=%v remaining=%d", r.Err(), r.Remaining())
+	}
+}
+
+func TestCRCFrameRejectsCorruption(t *testing.T) {
+	w := NewWriter(0)
+	w.Int(7)
+	w.FinishCRC()
+	frame := w.Bytes()
+
+	for i := range frame {
+		cp := append([]byte(nil), frame...)
+		cp[i] ^= 0x40
+		if _, ok := VerifyCRC(cp); ok {
+			t.Fatalf("bit flip at byte %d passed verification", i)
+		}
+	}
+	if _, ok := VerifyCRC(nil); ok {
+		t.Fatal("empty frame passed verification")
+	}
+	if _, ok := VerifyCRC(frame[:3]); ok {
+		t.Fatal("short frame passed verification")
+	}
+}
+
+func TestCRCEmptyBody(t *testing.T) {
+	w := NewWriter(0)
+	w.FinishCRC()
+	body, ok := VerifyCRC(w.Bytes())
+	if !ok || len(body) != 0 {
+		t.Fatalf("empty body frame: body=%v ok=%v", body, ok)
+	}
+}

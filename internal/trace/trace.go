@@ -139,6 +139,25 @@ func (t *Tracer) PhaseTotals() map[string]time.Duration {
 	return totals
 }
 
+// Count reports how many instant events were recorded for phase. The farm
+// supervisor's health events ("farm.retire", "farm.task-fail",
+// "farm.quarantine", …) are instants, so tests and monitors can assert on
+// supervision activity without parsing the event log.
+func (t *Tracer) Count(phase string) int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := 0
+	for _, e := range t.events {
+		if e.Kind == KindInstant && e.Phase == phase {
+			n++
+		}
+	}
+	return n
+}
+
 // PhaseBytes sums instant-event bytes per phase.
 func (t *Tracer) PhaseBytes() map[string]int64 {
 	out := map[string]int64{}

@@ -139,3 +139,25 @@ func TestSpansSorted(t *testing.T) {
 		t.Fatalf("spans unsorted: %v", spans)
 	}
 }
+
+func TestCountInstants(t *testing.T) {
+	var nilT *Tracer
+	if nilT.Count("x") != 0 {
+		t.Fatal("nil tracer Count != 0")
+	}
+	tr := New()
+	tr.Instant(0, "farm.retire", 2)
+	tr.Instant(0, "farm.retire", 3)
+	tr.Instant(1, "farm.task-fail", 7)
+	end := tr.Begin(0, "farm.retire") // a span, not an instant: not counted
+	end()
+	if got := tr.Count("farm.retire"); got != 2 {
+		t.Fatalf("Count(farm.retire) = %d, want 2", got)
+	}
+	if got := tr.Count("farm.task-fail"); got != 1 {
+		t.Fatalf("Count(farm.task-fail) = %d, want 1", got)
+	}
+	if got := tr.Count("absent"); got != 0 {
+		t.Fatalf("Count(absent) = %d, want 0", got)
+	}
+}

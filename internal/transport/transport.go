@@ -13,6 +13,7 @@
 package transport
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -129,6 +130,18 @@ func New(cfg Config) *Fabric {
 // Ranks reports the number of endpoints.
 func (f *Fabric) Ranks() int { return f.cfg.Ranks }
 
+// SendCtx is Send under a context: an already-cancelled context fails the
+// send with ctx.Err() before anything is transmitted. Send itself never
+// blocks (the fabric buffers), so there is no mid-send wait to interrupt.
+func (f *Fabric) SendCtx(ctx context.Context, src, dst, tag int, payload []byte) error {
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+	}
+	return f.Send(src, dst, tag, payload)
+}
+
 // Send delivers payload to dst with the given tag. The payload is copied;
 // the caller may reuse its buffer immediately. Send does not block (the
 // fabric buffers), matching MPI's buffered-send semantics that the paper's
@@ -201,10 +214,30 @@ func (f *Fabric) deliver(src, dst, tag int, payload []byte) error {
 // the earliest queued message, so messages between one (src, dst, tag)
 // triple are received in send order (MPI's non-overtaking rule).
 func (f *Fabric) Recv(dst, src, tag int) (Message, error) {
+	return f.RecvCtx(context.Background(), dst, src, tag)
+}
+
+// RecvCtx is Recv under a context: cancelling ctx unblocks the wait and
+// returns ctx.Err(). An already-queued matching message is returned even
+// when ctx is cancelled, so cancellation never loses a delivered message.
+func (f *Fabric) RecvCtx(ctx context.Context, dst, src, tag int) (Message, error) {
 	if dst < 0 || dst >= f.cfg.Ranks {
 		return Message{}, fmt.Errorf("transport: recv at rank %d out of range", dst)
 	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	mb := f.boxes[dst]
+	if ctx.Done() != nil {
+		// Wake the cond wait when the context fires; without this the
+		// cancellation would only be noticed at the next delivery.
+		stop := context.AfterFunc(ctx, func() {
+			mb.mu.Lock()
+			mb.cond.Broadcast()
+			mb.mu.Unlock()
+		})
+		defer stop()
+	}
 	mb.mu.Lock()
 	defer mb.mu.Unlock()
 	for {
@@ -216,6 +249,9 @@ func (f *Fabric) Recv(dst, src, tag int) (Message, error) {
 		}
 		if mb.closed {
 			return Message{}, mb.closeErr()
+		}
+		if err := ctx.Err(); err != nil {
+			return Message{}, err
 		}
 		mb.cond.Wait()
 	}
@@ -332,9 +368,19 @@ func (e *Endpoint) Send(dst, tag int, payload []byte) error {
 	return e.f.Send(e.rank, dst, tag, payload)
 }
 
+// SendCtx is Send under a context (see Fabric.SendCtx).
+func (e *Endpoint) SendCtx(ctx context.Context, dst, tag int, payload []byte) error {
+	return e.f.SendCtx(ctx, e.rank, dst, tag, payload)
+}
+
 // Recv blocks for a matching message addressed to this endpoint.
 func (e *Endpoint) Recv(src, tag int) (Message, error) {
 	return e.f.Recv(e.rank, src, tag)
+}
+
+// RecvCtx is Recv under a context: cancellation unblocks the wait.
+func (e *Endpoint) RecvCtx(ctx context.Context, src, tag int) (Message, error) {
+	return e.f.RecvCtx(ctx, e.rank, src, tag)
 }
 
 // TryRecv is the non-blocking receive at this endpoint.
