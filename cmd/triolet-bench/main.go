@@ -20,6 +20,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"triolet/internal/harness"
@@ -43,16 +45,31 @@ func main() {
 	farmDemo := flag.Bool("farm-demo", false, "demo the supervised farm lifecycle: checkpoint to a WAL, kill the master mid-job, resume, quarantine a poison task")
 	benchGate := flag.Bool("bench-gate", false, "run the fused-pipeline regression benchmarks")
 	jsonOut := flag.Bool("json", false, "with -bench-gate: emit results as JSON")
-	baseline := flag.String("baseline", "", "with -bench-gate: compare ratios against this baseline file and fail on >25% regression")
+	baseline := flag.String("baseline", "", "with -bench-gate: compare ratios against this baseline file and fail on >15% regression")
 	writeBaseline := flag.String("write-baseline", "", "with -bench-gate: write the measured ratios to this file")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file (any mode; pprof evidence for perf PRs)")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	flag.Parse()
 
+	// Profiles must be flushed on every exit path, including the os.Exit
+	// calls below, so each path funnels through finish.
+	stopProfiles, err := startProfiles(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	finish := func(code int) {
+		stopProfiles()
+		os.Exit(code)
+	}
+	defer stopProfiles()
+
 	if *benchGate {
-		os.Exit(runBenchGate(*jsonOut, *baseline, *writeBaseline))
+		finish(runBenchGate(*jsonOut, *baseline, *writeBaseline))
 	}
 
 	if *farmDemo {
-		os.Exit(runFarmDemo(*nodes))
+		finish(runFarmDemo(*nodes))
 	}
 
 	if *verify {
@@ -60,7 +77,7 @@ func main() {
 		fmt.Print(harness.VerifyTable(results))
 		for _, r := range results {
 			if !r.OK {
-				os.Exit(1)
+				finish(1)
 			}
 		}
 		return
@@ -99,7 +116,7 @@ func main() {
 	if *out != "" {
 		if err := writeArtifacts(*out, mo); err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			finish(1)
 		}
 		fmt.Fprintf(os.Stderr, "wrote figure files to %s\n", *out)
 	}
@@ -147,8 +164,51 @@ func main() {
 		fmt.Print(harness.SummaryTable(mo))
 	default:
 		fmt.Fprintf(os.Stderr, "no such figure: %d (figures 1-8; 2 and 6 are implementation figures)\n", *fig)
-		os.Exit(2)
+		finish(2)
 	}
+}
+
+// startProfiles begins CPU profiling and registers the heap snapshot, per
+// the -cpuprofile/-memprofile flags. The returned stop function is
+// idempotent and must run before the process exits for either profile to be
+// complete on disk.
+func startProfiles(cpuPath, memPath string) (stop func(), err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
+	}
+	done := false
+	return func() {
+		if done {
+			return
+		}
+		done = true
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+				return
+			}
+			runtime.GC() // settle live heap before the snapshot
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			}
+			f.Close()
+		}
+	}, nil
 }
 
 // writeArtifacts saves every figure — tables as .txt, data series as .csv —

@@ -139,11 +139,11 @@ func CollectLocal[T any](pool *sched.Pool, it iter.Iter[T], grain int) []T {
 	parts := make([][]T, len(blocks))
 	pool.ParallelFor(len(blocks), 1, func(_, lo, hi int) {
 		for b := lo; b < hi; b++ {
-			var buf []T
-			iter.Collect(iter.Split(it, blocks[b]))(func(v T) {
-				buf = append(buf, v)
-			})
-			parts[b] = buf
+			// ToSlice routes each range through the block engine: flat
+			// ranges are filled in place into exactly-sized storage and
+			// filtered ranges append block-compacted survivors, instead of
+			// growing a buffer from nil one element at a time.
+			parts[b] = iter.ToSlice(iter.Split(it, blocks[b]))
 		}
 	})
 	total := 0

@@ -94,26 +94,23 @@ func WeightedHistogramLocal[W iter.Number](pool *sched.Pool, bins int, it iter.I
 
 // BuildSliceLocal materializes a flat (KIdxFlat) iterator into a slice,
 // writing disjoint index ranges in place from multiple threads when hinted
-// parallel. Irregular iterators have no per-index output position; callers
+// parallel. Each task's range is evaluated by the block engine directly
+// into the shared output array (iter.FillRange), so the parallel build runs
+// the same block kernels as the sequential one with no per-element worker
+// closure. Irregular iterators have no per-index output position; callers
 // collect those sequentially or through histograms.
 func BuildSliceLocal[T any](pool *sched.Pool, it iter.Iter[T], grain int) []T {
 	if it.Kind() != iter.KIdxFlat {
 		return iter.ToSlice(it)
 	}
 	n, _ := it.OuterLen()
-	out := make([]T, n)
-	fill := func(lo, hi int) {
-		i := lo
-		iter.Collect(iter.Split(it, domain.Range{Lo: lo, Hi: hi}))(func(v T) {
-			out[i] = v
-			i++
-		})
-	}
 	if it.Hint() == iter.Sequential || pool == nil {
-		fill(0, n)
-		return out
+		return iter.ToSlice(it)
 	}
-	pool.ParallelFor(n, grain, func(_, lo, hi int) { fill(lo, hi) })
+	out := make([]T, n)
+	pool.ParallelFor(n, grain, func(_, lo, hi int) {
+		iter.FillRange(out[lo:hi], it, lo)
+	})
 	return out
 }
 

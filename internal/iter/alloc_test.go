@@ -1,0 +1,98 @@
+// Allocation-count regression tests for the block engine's slice-backed
+// fast paths. The race detector instruments allocations, so these only run
+// in normal builds; CI's race job covers the same paths for correctness.
+
+//go:build !race
+
+package iter
+
+import "testing"
+
+var allocSink int64
+
+// TestSumSliceBackedZeroAllocs: summing a slice-backed iterator must range
+// over the backing array directly — zero allocations, not even a buffer.
+func TestSumSliceBackedZeroAllocs(t *testing.T) {
+	xs := make([]int64, 1<<14)
+	for i := range xs {
+		xs[i] = int64(i)
+	}
+	it := FromSlice(xs)
+	if n := testing.AllocsPerRun(100, func() { allocSink = Sum(it) }); n != 0 {
+		t.Fatalf("Sum over slice-backed iterator allocated %.1f per run, want 0", n)
+	}
+	if n := testing.AllocsPerRun(100, func() { allocSink = int64(Count(it)) }); n != 0 {
+		t.Fatalf("Count over slice-backed iterator allocated %.1f per run, want 0", n)
+	}
+}
+
+// pipelineSumAllocs measures the per-traversal allocations of a
+// map-filter-sum pipeline over n elements.
+func pipelineSumAllocs(n int) float64 {
+	xs := make([]int64, n)
+	for i := range xs {
+		xs[i] = int64(i % 101)
+	}
+	it := Filter(func(v int64) bool { return v%3 == 0 },
+		Map(func(v int64) int64 { return v * 7 }, FromSlice(xs)))
+	return testing.AllocsPerRun(50, func() { allocSink = Sum(it) })
+}
+
+// TestPipelineSumAllocsSizeIndependent: block traversal allocates its kernel
+// and one BlockSize buffer per traversal — a small constant that must not
+// scale with the input (per-element drivers that box or append would).
+func TestPipelineSumAllocsSizeIndependent(t *testing.T) {
+	small := pipelineSumAllocs(1 << 10)
+	large := pipelineSumAllocs(1 << 16)
+	if small != large {
+		t.Fatalf("pipeline Sum allocations scale with input: %.1f at 1Ki vs %.1f at 64Ki", small, large)
+	}
+	if small > 8 {
+		t.Fatalf("pipeline Sum allocates %.1f per traversal, want <= 8 (kernel + scratch only)", small)
+	}
+}
+
+// TestToSlicePresizes: materializing a flat pipeline must allocate the output
+// exactly once at full size (plus O(1) kernel scratch), and a filtered
+// pipeline must pre-size its output from the pre-filter length so appends
+// never regrow it.
+func TestToSlicePresizes(t *testing.T) {
+	xs := make([]int64, 1<<14)
+	for i := range xs {
+		xs[i] = int64(i % 89)
+	}
+
+	flat := Map(func(v int64) int64 { return v + 1 }, FromSlice(xs))
+	n := testing.AllocsPerRun(20, func() { allocSink = ToSlice(flat)[0] })
+	if n > 4 {
+		t.Fatalf("ToSlice of flat pipeline allocated %.1f per run, want <= 4 (output + kernel scratch)", n)
+	}
+
+	filtered := Filter(func(v int64) bool { return v%2 == 0 }, FromSlice(xs))
+	out := ToSlice(filtered)
+	if cap(out) != len(xs) {
+		t.Fatalf("ToSlice of filtered pipeline: cap %d, want pre-sized %d (append must never regrow)",
+			cap(out), len(xs))
+	}
+	fn := testing.AllocsPerRun(20, func() { allocSink = ToSlice(filtered)[0] })
+	if fn > 4 {
+		t.Fatalf("ToSlice of filtered pipeline allocated %.1f per run, want <= 4", fn)
+	}
+}
+
+// TestHistogramAllocsSizeIndependent: the histogram consumer's block path
+// must reuse one scratch buffer, so allocations do not scale with input.
+func TestHistogramAllocsSizeIndependent(t *testing.T) {
+	measure := func(n int) float64 {
+		xs := make([]int64, n)
+		for i := range xs {
+			xs[i] = int64(i)
+		}
+		it := Map(func(v int64) int { return int(v % 32) }, FromSlice(xs))
+		return testing.AllocsPerRun(20, func() { allocSink = Histogram(32, it)[3] })
+	}
+	small, large := measure(1<<10), measure(1<<15)
+	if small != large {
+		t.Fatalf("Histogram allocations scale with input: %.1f at 1Ki vs %.1f at 32Ki", small, large)
+	}
+}

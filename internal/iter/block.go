@@ -1,0 +1,220 @@
+package iter
+
+// Block-at-a-time execution engine.
+//
+// The per-element drivers in this package traverse pipelines through one
+// interface-closure boundary per stage per element (Idx.At, FIdx.At,
+// Cursor): correct, but 6-18x slower than the hand-written loop the paper
+// says fusion should match, because every element pays several indirect
+// calls and none of the loop bodies are visible to the compiler at once.
+//
+// The block engine closes most of that gap the way indexed stream fusion
+// does it: producers that know their elements live in (or derive from)
+// contiguous storage expose a *block kernel* that evaluates BlockSize
+// elements per indirect call into a reused buffer, and consumers drive that
+// kernel with tight monomorphic loops over the buffer. Two representations
+// carry the fast path:
+//
+//   - back []T on Idx: the indexer is a plain slice view (IdxOf, FromSlice,
+//     SliceIdx of a slice). Consumers range over the backing array directly
+//     with zero copies and zero per-element calls.
+//   - fill on Idx / FIdx: a generator of block kernels. Map, ZipWith, Zip,
+//     Range, and Filter compose kernels instead of closure chains, so a
+//     map-map-sum pipeline costs one user-function call per stage per
+//     element instead of a 5-deep closure chain.
+//
+// Kernels are generated per traversal (the generator allocates any scratch
+// the kernel needs), so a shared iterator value can be traversed from many
+// goroutines at once — the property the sched pool relies on when it splits
+// a parallel loop into block-aligned ranges (sched.BlockAlign == BlockSize).
+
+// BlockSize is the number of elements a block kernel evaluates per indirect
+// call. 256 elements keeps the working set of a two-buffer pipeline stage
+// inside L1 for 8-byte elements (2 x 2 KiB) while amortizing the per-block
+// call to under 1% of per-element work.
+const BlockSize = 256
+
+// blockMin is the traversal length below which consumers stay on the
+// per-element driver: a block traversal allocates its kernel and buffer, and
+// for short loops (the inner iterators of ConcatMap nests, typically a
+// handful of elements) that fixed cost exceeds the per-element savings.
+const blockMin = 32
+
+// blockDriverEnabled gates every consumer-side block fast path. The random
+// pipeline property test flips it to prove the block driver and the
+// per-element driver produce bit-identical results for arbitrary pipelines.
+var blockDriverEnabled = true
+
+// fillFn evaluates elements [base, base+len(dst)) of a producer into dst.
+type fillFn[T any] func(dst []T, base int)
+
+// cfillFn is the compacting kernel of a filtered producer: it writes the
+// surviving elements among indices [base, base+n) to the front of dst
+// (len(dst) >= n) and reports how many survived.
+type cfillFn[T any] func(dst []T, base, n int) int
+
+// idxFast boxes an indexer's block fast paths behind one pointer so Idx
+// itself stays three words. ConcatMap pipelines construct (and copy) an
+// inner Iter per outer element; keeping the fast-path state out of line
+// means an At-only inner indexer — the common shape of those tiny inner
+// loops — costs one nil pointer instead of ten dead words per copy.
+type idxFast[T any] struct {
+	back []T              // non-nil: At(i) == back[i] (slice-backed)
+	fill func() fillFn[T] // optional block-kernel generator
+
+	// Map-chain representation: when mapSrc is non-nil, At(i) equals mapFns
+	// applied left-to-right to mapSrc[i]. It survives only while every map
+	// stage keeps the element type (detected dynamically in MapIdx), but that
+	// covers the hot numeric pipelines, and it lets consumers traverse the
+	// whole chain in one pass over the source array — no intermediate buffer
+	// and no per-stage block handoff.
+	mapSrc []T
+	mapFns []func(T) T
+}
+
+// fidxFast boxes a partial indexer's fast paths; see idxFast.
+type fidxFast[T any] struct {
+	fill func() cfillFn[T] // compacting block-kernel generator
+
+	// Pure-filter representation: when back is non-nil, element i is back[i]
+	// and it survives iff pred(back[i]). It holds only while no stage has
+	// transformed the values (a plain Filter of a slice-backed producer,
+	// possibly filtered again or Split), and it lets Sum/Count/ToSlice run
+	// the exact raw-loop shape — test each element where it lies, no
+	// compaction pass, no staging buffer.
+	back []T
+	pred func(T) bool
+}
+
+// backing returns the slice view of ix, or nil.
+func (ix Idx[T]) backing() []T {
+	if ix.fast != nil {
+		return ix.fast.back
+	}
+	return nil
+}
+
+// fillGen returns ix's block-kernel generator, or nil.
+func (ix Idx[T]) fillGen() func() fillFn[T] {
+	if ix.fast != nil {
+		return ix.fast.fill
+	}
+	return nil
+}
+
+// chain returns ix's map-chain representation, or (nil, nil).
+func (ix Idx[T]) chain() ([]T, []func(T) T) {
+	if ix.fast != nil {
+		return ix.fast.mapSrc, ix.fast.mapFns
+	}
+	return nil, nil
+}
+
+// reader returns a generator of block-read kernels for ix, or nil when ix
+// has no block fast path. Each traversal must generate its own kernel:
+// kernels own per-traversal scratch and are not safe for concurrent use,
+// while the generator itself is.
+func (ix Idx[T]) reader() func() fillFn[T] {
+	if back := ix.backing(); back != nil {
+		return func() fillFn[T] {
+			return func(dst []T, base int) { copy(dst, back[base:]) }
+		}
+	}
+	return ix.fillGen()
+}
+
+// blocked reports whether ix has any block fast path.
+func (ix Idx[T]) blocked() bool {
+	return ix.fast != nil && (ix.fast.back != nil || ix.fast.fill != nil)
+}
+
+// ensure grows *buf to at least n elements, reusing it across blocks.
+func ensure[T any](buf *[]T, n int) []T {
+	if cap(*buf) < n {
+		*buf = make([]T, n)
+	}
+	return (*buf)[:n]
+}
+
+// blockLen returns the buffer size for a traversal of n elements.
+func blockLen(n int) int {
+	if n < BlockSize {
+		return n
+	}
+	return BlockSize
+}
+
+// sumSliceFrom is the monomorphic reduction loop every block-driven numeric
+// consumer bottoms out in; with a concrete element shape the addition
+// compiles to a direct add, matching the hand-written loop. It threads the
+// caller's accumulator so each block folds into the running total in element
+// order, keeping float results bit-identical to a single per-element fold.
+func sumSliceFrom[T Number](acc T, xs []T) T {
+	for _, v := range xs {
+		acc += v
+	}
+	return acc
+}
+
+// mapChainFill builds the block-kernel generator of a map chain: one pass
+// over the source array applying every stage, specialized for the common
+// one- and two-stage chains so each element pays exactly one indirect call
+// per user function.
+func mapChainFill[T any](src []T, fns []func(T) T) func() fillFn[T] {
+	return func() fillFn[T] {
+		switch len(fns) {
+		case 1:
+			f0 := fns[0]
+			return func(dst []T, base int) {
+				for i, v := range src[base : base+len(dst)] {
+					dst[i] = f0(v)
+				}
+			}
+		case 2:
+			f0, f1 := fns[0], fns[1]
+			return func(dst []T, base int) {
+				for i, v := range src[base : base+len(dst)] {
+					dst[i] = f1(f0(v))
+				}
+			}
+		}
+		return func(dst []T, base int) {
+			for i, v := range src[base : base+len(dst)] {
+				for _, f := range fns {
+					v = f(v)
+				}
+				dst[i] = v
+			}
+		}
+	}
+}
+
+// FillRange evaluates outer indices [lo, lo+len(dst)) of a flat (KIdxFlat)
+// iterator into dst, block by block so composed kernels keep their scratch
+// at BlockSize. It is the in-place builder BuildSliceLocal and the
+// distributed array builders use to write each task's range directly into
+// shared output storage. Panics if it is not flat.
+func FillRange[T any](dst []T, it Iter[T], lo int) {
+	if it.kind != KIdxFlat {
+		panic("iter: FillRange of non-flat iterator")
+	}
+	ix := it.idx
+	if back := ix.backing(); blockDriverEnabled && back != nil {
+		copy(dst, back[lo:])
+		return
+	}
+	if gen := ix.fillGen(); blockDriverEnabled && gen != nil && len(dst) >= blockMin {
+		g := gen()
+		for off := 0; off < len(dst); off += BlockSize {
+			end := off + BlockSize
+			if end > len(dst) {
+				end = len(dst)
+			}
+			g(dst[off:end], lo+off)
+		}
+		return
+	}
+	for i := range dst {
+		dst[i] = ix.At(lo + i)
+	}
+}

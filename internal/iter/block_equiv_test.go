@@ -1,0 +1,146 @@
+package iter
+
+import (
+	"testing"
+	"testing/quick"
+
+	"triolet/internal/domain"
+)
+
+// Driver-equivalence property: every consumer must produce bit-identical
+// results whether it runs through the block engine or the per-element
+// driver. blockDriverEnabled gates every block fast path, so running the
+// same random pipeline under both settings compares the two drivers
+// directly. Float sums are compared with ==, not a tolerance: the block
+// driver is required to preserve the per-element accumulation order, so
+// even floating-point folds must agree to the last bit. This test runs
+// under -race in CI (the race job tests ./internal/...), which also checks
+// that per-traversal kernel generation keeps shared iterators safe.
+
+// runConsumers evaluates every gated consumer over it.
+type driverObs struct {
+	slice []int64
+	sum   int64
+	fsum  float64
+	count int
+	hist  []int64
+	split int64
+	ok    bool // split observed
+}
+
+func observeDrivers(it Iter[int64]) driverObs {
+	o := driverObs{
+		slice: ToSlice(it),
+		sum:   Sum(it),
+		count: Count(it),
+	}
+	o.fsum = Sum(Map(func(v int64) float64 { return float64(v) * 0.1 }, it))
+	o.hist = Histogram(64, Map(func(v int64) int { return int(((v % 64) + 64) % 64) }, it))
+	if it.CanSplit() {
+		n, _ := it.OuterLen()
+		for _, r := range domain.BlockPartition(n, 3) {
+			o.split += Sum(Split(it, r))
+		}
+		o.ok = true
+	}
+	return o
+}
+
+func TestBlockDriverMatchesPerElementDriver(t *testing.T) {
+	defer func() { blockDriverEnabled = true }()
+	prop := func(seed []int16, ops []pipeOp) bool {
+		if len(ops) > 6 {
+			ops = ops[:6]
+		}
+		xs := make([]int64, len(seed))
+		for i, v := range seed {
+			xs[i] = int64(v % 100)
+		}
+		it := FromSlice(xs)
+		ref := xs
+		for _, op := range ops {
+			it = applyIter(op, it)
+			ref = applyRef(op, ref)
+			if len(ref) > 50000 {
+				return true // skip exploded concatMap cases
+			}
+		}
+
+		blockDriverEnabled = true
+		blocked := observeDrivers(it)
+		blockDriverEnabled = false
+		scalar := observeDrivers(it)
+		blockDriverEnabled = true
+
+		if len(blocked.slice) != len(scalar.slice) {
+			t.Logf("ToSlice length %d (block) vs %d (per-element) for ops %+v",
+				len(blocked.slice), len(scalar.slice), ops)
+			return false
+		}
+		for i := range scalar.slice {
+			if blocked.slice[i] != scalar.slice[i] {
+				t.Logf("ToSlice[%d] = %d (block) vs %d (per-element) for ops %+v",
+					i, blocked.slice[i], scalar.slice[i], ops)
+				return false
+			}
+		}
+		if blocked.sum != scalar.sum || blocked.count != scalar.count {
+			t.Logf("sum/count %d/%d vs %d/%d for ops %+v",
+				blocked.sum, blocked.count, scalar.sum, scalar.count, ops)
+			return false
+		}
+		if blocked.fsum != scalar.fsum {
+			t.Logf("float sum %v (block) vs %v (per-element): accumulation order diverged for ops %+v",
+				blocked.fsum, scalar.fsum, ops)
+			return false
+		}
+		for b := range scalar.hist {
+			if blocked.hist[b] != scalar.hist[b] {
+				t.Logf("hist[%d] = %d vs %d for ops %+v", b, blocked.hist[b], scalar.hist[b], ops)
+				return false
+			}
+		}
+		if blocked.ok != scalar.ok || blocked.split != scalar.split {
+			t.Logf("split sum %d vs %d for ops %+v", blocked.split, scalar.split, ops)
+			return false
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 300}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The boundary cases quick.Check rarely lands on exactly: lengths around
+// blockMin and around BlockSize multiples, where the block driver switches
+// on and where its final partial block is cut.
+func TestBlockDriverBoundaryLengths(t *testing.T) {
+	defer func() { blockDriverEnabled = true }()
+	lengths := []int{0, 1, blockMin - 1, blockMin, blockMin + 1,
+		BlockSize - 1, BlockSize, BlockSize + 1, 2*BlockSize - 1, 2 * BlockSize, 1000}
+	for _, n := range lengths {
+		xs := make([]int64, n)
+		for i := range xs {
+			xs[i] = int64(i%97 - 13)
+		}
+		it := Filter(func(v int64) bool { return v%3 != 0 },
+			Map(func(v int64) int64 { return v*5 + 1 }, FromSlice(xs)))
+
+		blockDriverEnabled = true
+		gotSlice, gotSum, gotCount := ToSlice(it), Sum(it), Count(it)
+		blockDriverEnabled = false
+		wantSlice, wantSum, wantCount := ToSlice(it), Sum(it), Count(it)
+		blockDriverEnabled = true
+
+		if gotSum != wantSum || gotCount != wantCount || len(gotSlice) != len(wantSlice) {
+			t.Fatalf("n=%d: block driver sum/count/len %d/%d/%d vs %d/%d/%d",
+				n, gotSum, gotCount, len(gotSlice), wantSum, wantCount, len(wantSlice))
+		}
+		for i := range wantSlice {
+			if gotSlice[i] != wantSlice[i] {
+				t.Fatalf("n=%d: element %d: %d vs %d", n, i, gotSlice[i], wantSlice[i])
+			}
+		}
+	}
+}

@@ -4,19 +4,17 @@ import "fmt"
 
 // Histogram counts, for each bin in [0, n), how many elements of it fall in
 // that bin. Out-of-range bins are dropped (tpacf relies on clamping done by
-// its scoring function, so dropping keeps the skeleton total). The
-// implementation converts the fused iterator to a collector whose worker
-// mutates the bin array in place (paper §3.1 "Collectors").
+// its scoring function, so dropping keeps the skeleton total). Conceptually
+// this converts the fused iterator to a collector whose worker mutates the
+// bin array in place (paper §3.1 "Collectors"); the block engine inlines
+// that worker into the block loop, so slice-backed pipelines update bins
+// with no per-element calls at all.
 func Histogram(n int, it Iter[int]) []int64 {
 	if n < 0 {
 		panic(fmt.Sprintf("iter: Histogram(%d)", n))
 	}
 	bins := make([]int64, n)
-	Collect(it)(func(b int) {
-		if b >= 0 && b < n {
-			bins[b]++
-		}
-	})
+	HistogramInto(bins, it)
 	return bins
 }
 
@@ -35,11 +33,7 @@ func WeightedHistogram[W Number](n int, it Iter[Bin[W]]) []W {
 		panic(fmt.Sprintf("iter: WeightedHistogram(%d)", n))
 	}
 	bins := make([]W, n)
-	Collect(it)(func(u Bin[W]) {
-		if u.I >= 0 && u.I < n {
-			bins[u.I] += u.W
-		}
-	})
+	WeightedHistogramInto(bins, it)
 	return bins
 }
 
@@ -48,6 +42,35 @@ func WeightedHistogram[W Number](n int, it Iter[Bin[W]]) []W {
 // reduction of paper §3.4).
 func HistogramInto(bins []int64, it Iter[int]) {
 	n := len(bins)
+	if it.kind == KIdxFlat && blockDriverEnabled {
+		ix := it.idx
+		if back := ix.backing(); back != nil {
+			for _, b := range back {
+				if b >= 0 && b < n {
+					bins[b]++
+				}
+			}
+			return
+		}
+		if gen := ix.fillGen(); gen != nil && ix.N >= blockMin {
+			g := gen()
+			buf := make([]int, blockLen(ix.N))
+			for base := 0; base < ix.N; base += BlockSize {
+				end := base + BlockSize
+				if end > ix.N {
+					end = ix.N
+				}
+				b := buf[:end-base]
+				g(b, base)
+				for _, v := range b {
+					if v >= 0 && v < n {
+						bins[v]++
+					}
+				}
+			}
+			return
+		}
+	}
 	Collect(it)(func(b int) {
 		if b >= 0 && b < n {
 			bins[b]++
@@ -58,6 +81,35 @@ func HistogramInto(bins []int64, it Iter[int]) {
 // WeightedHistogramInto adds it's weighted updates into an existing array.
 func WeightedHistogramInto[W Number](bins []W, it Iter[Bin[W]]) {
 	n := len(bins)
+	if it.kind == KIdxFlat && blockDriverEnabled {
+		ix := it.idx
+		if back := ix.backing(); back != nil {
+			for _, u := range back {
+				if u.I >= 0 && u.I < n {
+					bins[u.I] += u.W
+				}
+			}
+			return
+		}
+		if gen := ix.fillGen(); gen != nil && ix.N >= blockMin {
+			g := gen()
+			buf := make([]Bin[W], blockLen(ix.N))
+			for base := 0; base < ix.N; base += BlockSize {
+				end := base + BlockSize
+				if end > ix.N {
+					end = ix.N
+				}
+				b := buf[:end-base]
+				g(b, base)
+				for _, u := range b {
+					if u.I >= 0 && u.I < n {
+						bins[u.I] += u.W
+					}
+				}
+			}
+			return
+		}
+	}
 	Collect(it)(func(u Bin[W]) {
 		if u.I >= 0 && u.I < n {
 			bins[u.I] += u.W

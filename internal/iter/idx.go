@@ -25,60 +25,294 @@ import "fmt"
 // Idx is the indexer encoding: a virtual collection of N elements where
 // element i is computed by At(i). Because any element can be retrieved
 // independently, indexers can be split across parallel tasks and zipped.
+//
+// At is always valid. The unexported fast pointer carries the block
+// engine's fast paths (see block.go): a slice view of the elements, a
+// block-kernel generator, or a map chain over a source array. Constructors
+// in this package maintain it so pipelines over slices stay on the fast
+// path through Map/Zip/Slice composition, while At-only indexers — in
+// particular the per-element inner loops ConcatMap constructs by the
+// thousand — stay three words and allocate nothing.
 type Idx[T any] struct {
-	N  int
-	At func(i int) T
+	N    int
+	At   func(i int) T
+	fast *idxFast[T]
 }
 
-// IdxOf wraps a slice as an indexer without copying.
+// IdxOf wraps a slice as an indexer without copying. The indexer remembers
+// its backing array, so consumers iterate it with a tight loop instead of
+// per-element At calls.
 func IdxOf[T any](xs []T) Idx[T] {
-	return Idx[T]{N: len(xs), At: func(i int) T { return xs[i] }}
+	return Idx[T]{N: len(xs), At: func(i int) T { return xs[i] }, fast: &idxFast[T]{back: xs}}
 }
 
-// IdxRange is the indexer of the integers [0, n).
+// IdxRange is the indexer of the integers [0, n). Ranges shorter than
+// blockMin stay At-only: no consumer drives blocks that short, and the tiny
+// ranges ConcatMap feeds to inner pipelines should not pay an allocation.
 func IdxRange(n int) Idx[int] {
 	if n < 0 {
 		panic(fmt.Sprintf("iter: IdxRange(%d)", n))
 	}
-	return Idx[int]{N: n, At: func(i int) int { return i }}
+	out := Idx[int]{N: n, At: func(i int) int { return i }}
+	if n >= blockMin {
+		out.fast = &idxFast[int]{fill: func() fillFn[int] {
+			return func(dst []int, base int) {
+				for i := range dst {
+					dst[i] = base + i
+				}
+			}
+		}}
+	}
+	return out
 }
 
 // MapIdx builds the indexer whose lookup applies f after ix's lookup —
-// straight-line code, so composition fuses (paper §3.1 "Indexers").
+// straight-line code, so composition fuses (paper §3.1 "Indexers"). Over a
+// slice-backed or block-capable input the composition is a block kernel:
+// one call to f per element, no wrapper-closure chain.
 func MapIdx[T, U any](f func(T) U, ix Idx[T]) Idx[U] {
-	return Idx[U]{N: ix.N, At: func(i int) U { return f(ix.At(i)) }}
+	// Capture ix.At alone, not ix: the closure then holds two words instead
+	// of the whole Idx struct, which matters when ConcatMap constructs one of
+	// these per outer element.
+	at := ix.At
+	out := Idx[U]{N: ix.N, At: func(i int) U { return f(at(i)) }}
+	if back := ix.backing(); back != nil {
+		out.At = func(i int) U { return f(back[i]) }
+		fast := &idxFast[U]{fill: func() fillFn[U] {
+			return func(dst []U, base int) {
+				for i, v := range back[base : base+len(dst)] {
+					dst[i] = f(v)
+				}
+			}
+		}}
+		// When T == U (detected dynamically — the assertions succeed only for
+		// identical type arguments) the result is a one-stage map chain over
+		// the backing array, which single-pass consumers extend and fuse.
+		if src, ok := any(back).([]U); ok {
+			if ff, ok := any(f).(func(U) U); ok {
+				fast.mapSrc, fast.mapFns = src, []func(U) U{ff}
+			}
+		}
+		out.fast = fast
+		return out
+	}
+	if mapSrc, mapFns := ix.chain(); mapSrc != nil {
+		if ff, ok := any(f).(func(U) U); ok {
+			// Same element type: extend the chain. ix has type Idx[U] here, so
+			// the remaining assertions cannot fail.
+			src := any(mapSrc).([]U)
+			prev := any(mapFns).([]func(U) U)
+			fns := make([]func(U) U, len(prev)+1)
+			copy(fns, prev)
+			fns[len(prev)] = ff
+			out.fast = &idxFast[U]{
+				mapSrc: src,
+				mapFns: fns,
+				fill:   mapChainFill(src, fns),
+			}
+			return out
+		}
+		// Type change ends the chain; compose block kernels below instead.
+	}
+	// Sub-blockMin sources skip kernel construction entirely: no consumer
+	// drives blocks that short, so the generator closure would be one more
+	// dead allocation on ConcatMap's per-element inner pipelines.
+	if gen := ix.fillGen(); gen != nil && ix.N >= blockMin {
+		// When T == U the map transforms each block in place in the
+		// consumer's buffer, skipping the scratch buffer and its extra pass.
+		if sameGen, ok := any(gen).(func() fillFn[U]); ok {
+			if ff, ok := any(f).(func(U) U); ok {
+				out.fast = &idxFast[U]{fill: func() fillFn[U] {
+					read := sameGen()
+					return func(dst []U, base int) {
+						read(dst, base)
+						for i, v := range dst {
+							dst[i] = ff(v)
+						}
+					}
+				}}
+				return out
+			}
+		}
+		out.fast = &idxFast[U]{fill: func() fillFn[U] {
+			read := gen()
+			var scratch []T
+			return func(dst []U, base int) {
+				s := ensure(&scratch, len(dst))
+				read(s, base)
+				for i, v := range s {
+					dst[i] = f(v)
+				}
+			}
+		}}
+	}
+	return out
 }
 
 // ZipIdx pairs elements at corresponding indices; the result covers the
-// intersection (shorter) of the two domains.
+// intersection (shorter) of the two domains. The block kernel constructs
+// pairs inline — unlike ZipWithIdx with a pair-building closure, it costs
+// no indirect call per element.
 func ZipIdx[A, B any](a Idx[A], b Idx[B]) Idx[Pair[A, B]] {
-	return Idx[Pair[A, B]]{
+	out := Idx[Pair[A, B]]{
 		N:  min(a.N, b.N),
 		At: func(i int) Pair[A, B] { return Pair[A, B]{Fst: a.At(i), Snd: b.At(i)} },
 	}
+	if xa, xb := a.backing(), b.backing(); xa != nil && xb != nil {
+		out.fast = &idxFast[Pair[A, B]]{fill: func() fillFn[Pair[A, B]] {
+			return func(dst []Pair[A, B], base int) {
+				va := xa[base : base+len(dst)]
+				vb := xb[base : base+len(dst)]
+				for i := range dst {
+					dst[i] = Pair[A, B]{Fst: va[i], Snd: vb[i]}
+				}
+			}
+		}}
+		return out
+	}
+	ra, rb := a.reader(), b.reader()
+	if ra != nil && rb != nil {
+		out.fast = &idxFast[Pair[A, B]]{fill: func() fillFn[Pair[A, B]] {
+			ga, gb := ra(), rb()
+			var sa []A
+			var sb []B
+			return func(dst []Pair[A, B], base int) {
+				va := ensure(&sa, len(dst))
+				vb := ensure(&sb, len(dst))
+				ga(va, base)
+				gb(vb, base)
+				for i := range dst {
+					dst[i] = Pair[A, B]{Fst: va[i], Snd: vb[i]}
+				}
+			}
+		}}
+	}
+	return out
 }
 
-// ZipWithIdx combines elements at corresponding indices with f.
+// ZipWithIdx combines elements at corresponding indices with f. Two
+// slice-backed operands compose into a block kernel reading both backing
+// arrays directly; other block-capable operands stage through per-traversal
+// scratch buffers.
 func ZipWithIdx[A, B, C any](f func(A, B) C, a Idx[A], b Idx[B]) Idx[C] {
-	return Idx[C]{
+	out := Idx[C]{
 		N:  min(a.N, b.N),
 		At: func(i int) C { return f(a.At(i), b.At(i)) },
 	}
+	if xa, xb := a.backing(), b.backing(); xa != nil && xb != nil {
+		out.fast = &idxFast[C]{fill: func() fillFn[C] {
+			return func(dst []C, base int) {
+				va := xa[base : base+len(dst)]
+				vb := xb[base : base+len(dst)]
+				for i := range dst {
+					dst[i] = f(va[i], vb[i])
+				}
+			}
+		}}
+		return out
+	}
+	ra, rb := a.reader(), b.reader()
+	if ra != nil && rb != nil {
+		out.fast = &idxFast[C]{fill: func() fillFn[C] {
+			ga, gb := ra(), rb()
+			var sa []A
+			var sb []B
+			return func(dst []C, base int) {
+				va := ensure(&sa, len(dst))
+				vb := ensure(&sb, len(dst))
+				ga(va, base)
+				gb(vb, base)
+				for i := range dst {
+					dst[i] = f(va[i], vb[i])
+				}
+			}
+		}}
+	}
+	return out
 }
 
 // SliceIdx restricts an indexer to the sub-range [lo, hi), re-basing
-// indices at zero. Parallel partitioning hands each task a SliceIdx.
+// indices at zero. Parallel partitioning hands each task a SliceIdx; both
+// fast paths survive restriction (a slice view of a slice is a slice, and a
+// block kernel re-bases by offsetting), so per-task traversals in a
+// work-stealing loop run the same block kernels as the sequential whole.
 func SliceIdx[T any](ix Idx[T], lo, hi int) Idx[T] {
 	if lo < 0 || hi > ix.N || lo > hi {
 		panic(fmt.Sprintf("iter: SliceIdx[%d,%d) of %d", lo, hi, ix.N))
 	}
-	return Idx[T]{N: hi - lo, At: func(i int) T { return ix.At(lo + i) }}
+	if back := ix.backing(); back != nil {
+		return IdxOf(back[lo:hi:hi])
+	}
+	out := Idx[T]{N: hi - lo, At: func(i int) T { return ix.At(lo + i) }}
+	if mapSrc, mapFns := ix.chain(); mapSrc != nil {
+		// Slicing a map chain slices its source; the chain stays single-pass.
+		src := mapSrc[lo:hi:hi]
+		out.fast = &idxFast[T]{
+			mapSrc: src,
+			mapFns: mapFns,
+			fill:   mapChainFill(src, mapFns),
+		}
+		return out
+	}
+	if gen := ix.fillGen(); gen != nil {
+		out.fast = &idxFast[T]{fill: func() fillFn[T] {
+			read := gen()
+			return func(dst []T, base int) { read(dst, base+lo) }
+		}}
+	}
+	return out
 }
 
 // FoldIdx reduces the indexer left-to-right with worker w from initial
-// accumulator z. This is the idxToFold conversion of paper §3.3.
+// accumulator z. This is the idxToFold conversion of paper §3.3. Slice-
+// backed indexers fold over the backing array; block-capable ones pull
+// BlockSize elements per kernel call into a reused buffer.
 func FoldIdx[T, A any](ix Idx[T], z A, w func(A, T) A) A {
 	acc := z
+	if mapSrc, mapFns := ix.chain(); blockDriverEnabled && mapSrc != nil {
+		switch len(mapFns) {
+		case 1:
+			f0 := mapFns[0]
+			for _, v := range mapSrc {
+				acc = w(acc, f0(v))
+			}
+		case 2:
+			f0, f1 := mapFns[0], mapFns[1]
+			for _, v := range mapSrc {
+				acc = w(acc, f1(f0(v)))
+			}
+		default:
+			for _, v := range mapSrc {
+				for _, f := range mapFns {
+					v = f(v)
+				}
+				acc = w(acc, v)
+			}
+		}
+		return acc
+	}
+	if back := ix.backing(); blockDriverEnabled && back != nil {
+		for _, v := range back {
+			acc = w(acc, v)
+		}
+		return acc
+	}
+	if gen := ix.fillGen(); blockDriverEnabled && gen != nil && ix.N >= blockMin {
+		g := gen()
+		buf := make([]T, blockLen(ix.N))
+		for base := 0; base < ix.N; base += BlockSize {
+			end := base + BlockSize
+			if end > ix.N {
+				end = ix.N
+			}
+			b := buf[:end-base]
+			g(b, base)
+			for _, v := range b {
+				acc = w(acc, v)
+			}
+		}
+		return acc
+	}
 	for i := 0; i < ix.N; i++ {
 		acc = w(acc, ix.At(i))
 	}

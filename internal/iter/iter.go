@@ -94,10 +94,31 @@ type Iter[T any] struct {
 }
 
 // FIdx is the partial indexer backing KIdxFilter: At reports ok=false when
-// index i's element is rejected.
+// index i's element is rejected. The unexported fast pointer carries the
+// block engine's fast paths (see block.go): a compacting block kernel — one
+// indirect call evaluates a whole block of indices and packs the survivors
+// to the front of a buffer — and the pure-filter slice+predicate view, so
+// filter-heavy consumers avoid the two-valued At call per element.
 type FIdx[T any] struct {
-	N  int
-	At func(i int) (T, bool)
+	N    int
+	At   func(i int) (T, bool)
+	fast *fidxFast[T]
+}
+
+// cfill returns fx's compacting block-kernel generator, or nil.
+func (fx FIdx[T]) cfill() func() cfillFn[T] {
+	if fx.fast != nil {
+		return fx.fast.fill
+	}
+	return nil
+}
+
+// filterView returns fx's pure-filter representation, or (nil, nil).
+func (fx FIdx[T]) filterView() ([]T, func(T) bool) {
+	if fx.fast != nil {
+		return fx.fast.back, fx.fast.pred
+	}
+	return nil, nil
 }
 
 // IdxFilter wraps a partial indexer as an iterator.
@@ -211,6 +232,20 @@ func Map[T, U any](f func(T) U, it Iter[T]) Iter[U] {
 			}
 			return f(v), true
 		}}
+		if gen := fx.cfill(); gen != nil {
+			out.fidx.fast = &fidxFast[U]{fill: func() cfillFn[U] {
+				read := gen()
+				var scratch []T
+				return func(dst []U, base, n int) int {
+					s := ensure(&scratch, n)
+					k := read(s, base, n)
+					for i, v := range s[:k] {
+						dst[i] = f(v)
+					}
+					return k
+				}
+			}}
+		}
 	default:
 		panic("iter: bad kind")
 	}
@@ -235,6 +270,41 @@ func Filter[T any](pred func(T) bool, it Iter[T]) Iter[T] {
 			v := ix.At(i)
 			return v, pred(v)
 		}}
+		if back := ix.backing(); back != nil {
+			out.fidx.fast = &fidxFast[T]{
+				back: back,
+				pred: pred,
+				fill: func() cfillFn[T] {
+					return func(dst []T, base, n int) int {
+						k := 0
+						for _, v := range back[base : base+n] {
+							if pred(v) {
+								dst[k] = v
+								k++
+							}
+						}
+						return k
+					}
+				},
+			}
+		} else if gen := ix.fillGen(); gen != nil {
+			out.fidx.fast = &fidxFast[T]{fill: func() cfillFn[T] {
+				read := gen()
+				var scratch []T
+				return func(dst []T, base, n int) int {
+					s := ensure(&scratch, n)
+					read(s, base)
+					k := 0
+					for _, v := range s {
+						if pred(v) {
+							dst[k] = v
+							k++
+						}
+					}
+					return k
+				}
+			}}
+		}
 	case KIdxFilter:
 		// Filtering twice composes the rejection tests.
 		fx := it.fidx
@@ -243,6 +313,30 @@ func Filter[T any](pred func(T) bool, it Iter[T]) Iter[T] {
 			v, ok := fx.At(i)
 			return v, ok && pred(v)
 		}}
+		if fx.fast != nil {
+			fast := &fidxFast[T]{}
+			if back, p0 := fx.filterView(); back != nil {
+				fast.back = back
+				fast.pred = func(v T) bool { return p0(v) && pred(v) }
+			}
+			if gen := fx.cfill(); gen != nil {
+				fast.fill = func() cfillFn[T] {
+					read := gen()
+					return func(dst []T, base, n int) int {
+						k := read(dst, base, n)
+						w := 0
+						for _, v := range dst[:k] {
+							if pred(v) {
+								dst[w] = v
+								w++
+							}
+						}
+						return w
+					}
+				}
+			}
+			out.fidx.fast = fast
+		}
 	case KStepFlat:
 		out.kind = KStepFlat
 		out.step = FilterStep(pred, it.step)
@@ -344,11 +438,38 @@ func mergeHint(a, b ParHint) ParHint { return max(a, b) }
 
 // Collect converts the iterator into a collector that pushes every element
 // to a side-effecting worker (paper Fig. 2's collect). Each nesting level
-// becomes one loop of the resulting loop nest.
+// becomes one loop of the resulting loop nest. Slice-backed and
+// block-capable producers feed the worker from tight buffer loops.
 func Collect[T any](it Iter[T]) Collector[T] {
 	switch it.kind {
 	case KIdxFlat:
-		return IdxToColl(it.idx)
+		ix := it.idx
+		if back := ix.backing(); blockDriverEnabled && back != nil {
+			return func(w func(T)) {
+				for _, v := range back {
+					w(v)
+				}
+			}
+		}
+		if gen := ix.fillGen(); blockDriverEnabled && gen != nil && ix.N >= blockMin {
+			n := ix.N
+			return func(w func(T)) {
+				g := gen()
+				buf := make([]T, blockLen(n))
+				for base := 0; base < n; base += BlockSize {
+					end := base + BlockSize
+					if end > n {
+						end = n
+					}
+					b := buf[:end-base]
+					g(b, base)
+					for _, v := range b {
+						w(v)
+					}
+				}
+			}
+		}
+		return IdxToColl(ix)
 	case KStepFlat:
 		return StepToColl(it.step)
 	case KIdxNest:
@@ -372,6 +493,32 @@ func Collect[T any](it Iter[T]) Collector[T] {
 		}
 	case KIdxFilter:
 		fx := it.fidx
+		if back, pred := fx.filterView(); blockDriverEnabled && back != nil {
+			return func(w func(T)) {
+				for _, v := range back {
+					if pred(v) {
+						w(v)
+					}
+				}
+			}
+		}
+		if gen := fx.cfill(); blockDriverEnabled && gen != nil && fx.N >= blockMin {
+			n := fx.N
+			return func(w func(T)) {
+				g := gen()
+				buf := make([]T, blockLen(n))
+				for base := 0; base < n; base += BlockSize {
+					end := base + BlockSize
+					if end > n {
+						end = n
+					}
+					k := g(buf[:end-base], base, end-base)
+					for _, v := range buf[:k] {
+						w(v)
+					}
+				}
+			}
+		}
 		return func(w func(T)) {
 			for i := 0; i < fx.N; i++ {
 				if v, ok := fx.At(i); ok {
@@ -398,13 +545,20 @@ func Reduce[T, A any](it Iter[T], z A, w func(A, T) A) A {
 		return FoldStep(it.stepN, z, func(acc A, inner Iter[T]) A { return Reduce(inner, acc, w) })
 	case KIdxFilter:
 		fx := it.fidx
-		acc := z
-		for i := 0; i < fx.N; i++ {
-			if v, ok := fx.At(i); ok {
-				acc = w(acc, v)
+		if back, pred := fx.filterView(); blockDriverEnabled && back != nil {
+			acc := z
+			for _, v := range back {
+				if pred(v) {
+					acc = w(acc, v)
+				}
 			}
+			return acc
 		}
-		return acc
+		// Reductions never stop early, so route through the collector
+		// encoding (ReduceColl): Collect picks the block-compacting driver
+		// when one exists, and the worker never pays the two-valued At call
+		// or the early-exit bool of the fold encoding.
+		return ReduceColl(Collect(it), z, w)
 	}
 	panic("iter: bad kind")
 }
@@ -417,23 +571,191 @@ type Number interface {
 		~float32 | ~float64
 }
 
-// Sum adds all elements (paper Fig. 2's sum).
+// Sum adds all elements (paper Fig. 2's sum). This is the consumer the
+// block engine specializes hardest: slice-backed pipelines reduce with a
+// monomorphic loop over the backing array (no per-element calls at all),
+// block-capable pipelines pay one kernel call per BlockSize elements and
+// reduce each buffer with the same monomorphic loop, and nests recurse so
+// slice-backed inner loops keep the fast path.
 func Sum[T Number](it Iter[T]) T {
 	var zero T
-	return Reduce(it, zero, func(a, v T) T { return a + v })
+	return sumFrom(zero, it)
 }
 
-// Count returns the number of elements the iterator yields.
+// sumFrom folds it's elements into acc left-to-right. The block paths thread
+// the caller's accumulator through every block and inner iterator (rather
+// than summing each from zero and adding partials), so the addition tree is
+// identical to the per-element driver's and floating-point sums agree
+// bit-for-bit between the two drivers.
+func sumFrom[T Number](acc T, it Iter[T]) T {
+	if blockDriverEnabled {
+		switch it.kind {
+		case KIdxFlat:
+			ix := it.idx
+			if back := ix.backing(); back != nil {
+				return sumSliceFrom(acc, back)
+			}
+			if mapSrc, mapFns := ix.chain(); mapSrc != nil {
+				// Map chain: one pass over the source, one indirect call per
+				// user function per element — the raw-loop shape up to those
+				// calls, with no buffer at all.
+				switch len(mapFns) {
+				case 1:
+					f0 := mapFns[0]
+					for _, v := range mapSrc {
+						acc += f0(v)
+					}
+				case 2:
+					f0, f1 := mapFns[0], mapFns[1]
+					for _, v := range mapSrc {
+						acc += f1(f0(v))
+					}
+				default:
+					for _, v := range mapSrc {
+						for _, f := range mapFns {
+							v = f(v)
+						}
+						acc += v
+					}
+				}
+				return acc
+			}
+			if gen := ix.fillGen(); gen != nil && ix.N >= blockMin {
+				g := gen()
+				buf := make([]T, blockLen(ix.N))
+				for base := 0; base < ix.N; base += BlockSize {
+					end := base + BlockSize
+					if end > ix.N {
+						end = ix.N
+					}
+					b := buf[:end-base]
+					g(b, base)
+					acc = sumSliceFrom(acc, b)
+				}
+				return acc
+			}
+		case KIdxFilter:
+			fx := it.fidx
+			if back, pred := fx.filterView(); back != nil {
+				// Pure filter of a slice: test each element where it lies —
+				// no compaction, no staging buffer, same loop as raw code.
+				for _, v := range back {
+					if pred(v) {
+						acc += v
+					}
+				}
+				return acc
+			}
+			if gen := fx.cfill(); gen != nil && fx.N >= blockMin {
+				g := gen()
+				buf := make([]T, blockLen(fx.N))
+				for base := 0; base < fx.N; base += BlockSize {
+					end := base + BlockSize
+					if end > fx.N {
+						end = fx.N
+					}
+					k := g(buf[:end-base], base, end-base)
+					acc = sumSliceFrom(acc, buf[:k])
+				}
+				return acc
+			}
+		case KIdxNest:
+			inner := it.idxN
+			for i := 0; i < inner.N; i++ {
+				acc = sumFrom(acc, inner.At(i))
+			}
+			return acc
+		}
+	}
+	return Reduce(it, acc, func(a, v T) T { return a + v })
+}
+
+// Count returns the number of elements the iterator yields. Flat indexers
+// know their count statically; nests sum inner counts so slice-backed inner
+// loops stay cheap; filters count survivors block-wise when they can.
 func Count[T any](it Iter[T]) int {
+	switch it.kind {
+	case KIdxFlat:
+		return it.idx.N
+	case KIdxNest:
+		inner := it.idxN
+		total := 0
+		for i := 0; i < inner.N; i++ {
+			total += Count(inner.At(i))
+		}
+		return total
+	case KIdxFilter:
+		fx := it.fidx
+		if back, pred := fx.filterView(); blockDriverEnabled && back != nil {
+			total := 0
+			for _, v := range back {
+				if pred(v) {
+					total++
+				}
+			}
+			return total
+		}
+		if gen := fx.cfill(); blockDriverEnabled && gen != nil && fx.N >= blockMin {
+			g := gen()
+			buf := make([]T, blockLen(fx.N))
+			total := 0
+			for base := 0; base < fx.N; base += BlockSize {
+				end := base + BlockSize
+				if end > fx.N {
+					end = fx.N
+				}
+				total += g(buf[:end-base], base, end-base)
+			}
+			return total
+		}
+	}
 	return Reduce(it, 0, func(n int, _ T) int { return n + 1 })
 }
 
-// ToSlice materializes the iterator into a fresh slice via a collector.
+// ToSlice materializes the iterator into a fresh slice. Producers with a
+// statically known extent are materialized into exactly-sized storage: flat
+// indexers fill the output array in place (block kernels write their blocks
+// directly into it, slice-backed inputs are a single copy), and filters
+// append block-compacted survivors into a capacity-N buffer. Only nests and
+// steppers, whose lengths are dynamic, fall back to append-growth.
 func ToSlice[T any](it Iter[T]) []T {
-	var out []T
-	if it.kind == KIdxFlat {
-		out = make([]T, 0, it.idx.N)
+	switch it.kind {
+	case KIdxFlat:
+		out := make([]T, it.idx.N)
+		FillRange(out, it, 0)
+		return out
+	case KIdxFilter:
+		fx := it.fidx
+		out := make([]T, 0, fx.N)
+		if back, pred := fx.filterView(); blockDriverEnabled && back != nil {
+			for _, v := range back {
+				if pred(v) {
+					out = append(out, v)
+				}
+			}
+			return out
+		}
+		if gen := fx.cfill(); blockDriverEnabled && gen != nil && fx.N >= blockMin {
+			g := gen()
+			buf := make([]T, blockLen(fx.N))
+			for base := 0; base < fx.N; base += BlockSize {
+				end := base + BlockSize
+				if end > fx.N {
+					end = fx.N
+				}
+				k := g(buf[:end-base], base, end-base)
+				out = append(out, buf[:k]...)
+			}
+			return out
+		}
+		for i := 0; i < fx.N; i++ {
+			if v, ok := fx.At(i); ok {
+				out = append(out, v)
+			}
+		}
+		return out
 	}
+	var out []T
 	Collect(it).RunInto(&out)
 	return out
 }
@@ -477,9 +799,24 @@ func Split[T any](it Iter[T], r domain.Range) Iter[T] {
 		if r.Lo < 0 || r.Hi > fx.N || r.Lo > r.Hi {
 			panic(fmt.Sprintf("iter: Split [%d,%d) of %d", r.Lo, r.Hi, fx.N))
 		}
-		out := IdxFilter(FIdx[T]{N: r.Len(), At: func(i int) (T, bool) {
+		sub := FIdx[T]{N: r.Len(), At: func(i int) (T, bool) {
 			return fx.At(r.Lo + i)
-		}})
+		}}
+		if fx.fast != nil {
+			fast := &fidxFast[T]{}
+			if back, pred := fx.filterView(); back != nil {
+				fast.back, fast.pred = back[r.Lo:r.Hi:r.Hi], pred
+			}
+			if gen := fx.cfill(); gen != nil {
+				lo := r.Lo
+				fast.fill = func() cfillFn[T] {
+					read := gen()
+					return func(dst []T, base, n int) int { return read(dst, base+lo, n) }
+				}
+			}
+			sub.fast = fast
+		}
+		out := IdxFilter(sub)
 		out.hint = it.hint
 		return out
 	}

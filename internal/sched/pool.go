@@ -14,6 +14,23 @@ import (
 // want larger grains.
 const DefaultGrain = 1024
 
+// BlockAlign mirrors iter.BlockSize: split points are snapped down to
+// multiples of it so the leaf ranges a parallel loop hands to fused
+// consumers stay block-aligned and the block kernels run at full width
+// instead of finishing every leaf with a ragged partial block. It is a
+// power of two so snapping is a mask. (sched deliberately does not import
+// iter; the pairing is asserted by a test on each side.)
+const BlockAlign = 256
+
+// alignSplit snaps a proposed split point down to a BlockAlign boundary
+// when that keeps both halves non-empty; otherwise the proposal stands.
+func alignSplit(lo, mid int) int {
+	if a := mid &^ (BlockAlign - 1); a > lo {
+		return a
+	}
+	return mid
+}
+
 // Pool is a fixed set of worker goroutines executing parallel regions. One
 // Pool per virtual node models the node's cores. A Pool is safe for use by
 // one region at a time (the node's control goroutine); the paper's
@@ -104,9 +121,10 @@ func (p *Pool) runRegion(r *region, self int) {
 			}
 		}
 		// Split oversized ranges, keeping the front and deferring the back
-		// half for thieves.
+		// half for thieves. Split points snap to block boundaries so leaf
+		// ranges run full-width block kernels.
 		for rng.Len() > r.grain {
-			mid := rng.Lo + rng.Len()/2
+			mid := alignSplit(rng.Lo, rng.Lo+rng.Len()/2)
 			d.pushBottom(domain.Range{Lo: mid, Hi: rng.Hi})
 			rng.Hi = mid
 		}
@@ -159,8 +177,15 @@ func (p *Pool) ParallelFor(n, grain int, body func(worker, lo, hi int)) {
 		r.deques[w] = &deque{}
 	}
 	// Seed each worker's deque with one initial block so stealing starts
-	// from an even distribution.
-	for w, blk := range domain.BlockPartition(n, p.workers) {
+	// from an even distribution. Seed boundaries are snapped to BlockAlign
+	// like split points, so every leaf range a worker ultimately executes is
+	// block-aligned except the loop's ragged tail.
+	seeds := domain.BlockPartition(n, p.workers)
+	for i := 0; i < len(seeds)-1; i++ {
+		cut := alignSplit(seeds[i].Lo, seeds[i].Hi)
+		seeds[i].Hi, seeds[i+1].Lo = cut, cut
+	}
+	for w, blk := range seeds {
 		if !blk.Empty() {
 			r.deques[w].pushBottom(blk)
 		}

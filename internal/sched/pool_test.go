@@ -1,11 +1,13 @@
 package sched
 
 import (
+	"sync"
 	"sync/atomic"
 	"testing"
 	"testing/quick"
 
 	"triolet/internal/domain"
+	"triolet/internal/iter"
 )
 
 func TestDequeLIFOAndFIFO(t *testing.T) {
@@ -258,5 +260,65 @@ func TestManySmallRegions(t *testing.T) {
 		if total.Load() != 64 {
 			t.Fatalf("covered %d", total.Load())
 		}
+	}
+}
+
+func TestAlignSplit(t *testing.T) {
+	cases := []struct{ lo, mid, want int }{
+		{0, 300, 256},      // snaps down to the boundary
+		{0, 256, 256},      // already aligned
+		{0, 255, 255},      // snapping would empty the front half
+		{512, 600, 600},    // snapping to 512 would empty the front half
+		{512, 900, 768},    // snaps within the range
+		{1000, 1100, 1024}, // 1024 = 4*256 > lo
+		{1000, 1020, 1020}, // snapping to 1024 would overshoot; no boundary in (lo, mid]
+	}
+	for _, c := range cases {
+		if got := alignSplit(c.lo, c.mid); got != c.want {
+			t.Errorf("alignSplit(%d, %d) = %d, want %d", c.lo, c.mid, got, c.want)
+		}
+	}
+}
+
+// TestBlockAlignPairsWithIterBlockSize: sched deliberately avoids importing
+// iter, so the constant pairing is asserted here (iter asserts its side in
+// internal/iter/block_test.go).
+func TestBlockAlignPairsWithIterBlockSize(t *testing.T) {
+	if BlockAlign != iter.BlockSize {
+		t.Fatalf("sched.BlockAlign = %d but iter.BlockSize = %d; they must match so leaf ranges run full-width block kernels", BlockAlign, iter.BlockSize)
+	}
+	if BlockAlign&(BlockAlign-1) != 0 {
+		t.Fatalf("BlockAlign = %d must be a power of two (snapping uses a mask)", BlockAlign)
+	}
+}
+
+// TestParallelForLeavesBlockAligned: with grain >= BlockAlign, every leaf
+// range boundary a worker executes must sit on a BlockAlign multiple, except
+// the loop's ragged tail. Per-leaf alignment is what lets fused consumers
+// run whole blocks per leaf instead of finishing each with a partial block.
+func TestParallelForLeavesBlockAligned(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	const n = 100_000 // not a multiple of BlockAlign: 100000 % 256 != 0
+	var mu sync.Mutex
+	type leaf struct{ lo, hi int }
+	var leaves []leaf
+	p.ParallelFor(n, 2*BlockAlign, func(_, lo, hi int) {
+		mu.Lock()
+		leaves = append(leaves, leaf{lo, hi})
+		mu.Unlock()
+	})
+	covered := 0
+	for _, l := range leaves {
+		covered += l.hi - l.lo
+		if l.lo%BlockAlign != 0 {
+			t.Errorf("leaf [%d,%d) starts off a block boundary", l.lo, l.hi)
+		}
+		if l.hi%BlockAlign != 0 && l.hi != n {
+			t.Errorf("leaf [%d,%d) ends off a block boundary and is not the tail", l.lo, l.hi)
+		}
+	}
+	if covered != n {
+		t.Fatalf("leaves cover %d of %d iterations", covered, n)
 	}
 }
