@@ -3,7 +3,8 @@
 
 GO ?= go
 
-.PHONY: build test race chaos chaos-resume fuzz fuzz-wal bench bench-baseline lint vet all
+.PHONY: build test race chaos chaos-resume fuzz fuzz-wal bench bench-baseline \
+	diffcheck-gate diffcheck-soak lint vet all
 
 all: vet build test
 
@@ -53,6 +54,17 @@ bench:
 # commit BENCH_BASELINE.json).
 bench-baseline:
 	$(GO) run ./cmd/triolet-bench -bench-gate -write-baseline BENCH_BASELINE.json
+
+# The cross-mode differential oracle's fast subset (ci.yml runs this on
+# every push): all four mode axes, seconds of wall time.
+diffcheck-gate:
+	$(GO) test -count=1 -timeout 5m -run Gate ./internal/diffcheck/
+
+# The nightly deep soak: long random pipeline streams through the full
+# mode matrix under -race. Tune with DIFFCHECK_SOAK / DIFFCHECK_SOAK_SEED.
+diffcheck-soak:
+	DIFFCHECK_SOAK=$${DIFFCHECK_SOAK:-200} $(GO) test -race -count=1 -timeout 60m -v \
+		-run Soak ./internal/diffcheck/
 
 # golangci-lint is optional locally; fall back to go vet when absent.
 lint:

@@ -26,6 +26,10 @@ type MapReduceOp[S, A, R any] struct {
 	rCodec  serial.Codec[R]
 	kernel  func(n *cluster.Node, slice S, aux A) (R, error)
 	combine func(R, R) R
+	// partition overrides the node partition (default BlockPartition).
+	// The deterministic reduction skeletons set it to a chunk-aligned
+	// partition so fixed-offset chunks never straddle two nodes.
+	partition func(tasks, nodes int) []domain.Range
 }
 
 // NewMapReduce registers a distributed map-reduce kernel under name and
@@ -93,8 +97,12 @@ func (op *MapReduceOp[S, A, R]) Run(s *cluster.Session, src DistSource[S], aux A
 		return zero, err
 	}
 	endScatter := n.Phase("scatter")
+	split := op.partition
+	if split == nil {
+		split = domain.BlockPartition
+	}
 	parts := make([]S, n.Nodes())
-	for i, r := range domain.BlockPartition(src.Tasks(), n.Nodes()) {
+	for i, r := range split(src.Tasks(), n.Nodes()) {
 		parts[i] = src.Slice(r)
 	}
 	mine, err := mpi.ScatterT(n.Comm, 0, op.sCodec, parts)

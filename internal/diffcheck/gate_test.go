@@ -1,0 +1,183 @@
+package diffcheck
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"triolet/internal/iter"
+)
+
+// The gate subset: fast enough for every push, yet covering all four mode
+// axes — engine {per-element, block}, exec {seq, localpar, par@1/2/4/8},
+// fabric {lossless, lossy}, lifecycle {fresh, kill+resume}.
+
+// fullMatrix covers every axis, including the expensive cells.
+func fullMatrix() []Mode {
+	return []Mode{
+		{Engine: PerElement, Exec: Seq}, // reference mode first
+		{Engine: Block, Exec: Seq},
+		{Engine: PerElement, Exec: LocalPar},
+		{Engine: Block, Exec: LocalPar},
+		{Engine: Block, Exec: Par, Nodes: 1},
+		{Engine: PerElement, Exec: Par, Nodes: 2},
+		{Engine: Block, Exec: Par, Nodes: 4, Fabric: Lossy},
+		{Engine: Block, Exec: Par, Nodes: 8},
+		{Engine: Block, Exec: Par, Nodes: 2, Lifecycle: Resume},
+	}
+}
+
+// quickMatrix trades the slow cells (lossy, resume) for breadth on many
+// pipelines.
+func quickMatrix() []Mode {
+	return []Mode{
+		{Engine: PerElement, Exec: Seq},
+		{Engine: Block, Exec: Seq},
+		{Engine: Block, Exec: LocalPar},
+		{Engine: PerElement, Exec: Par, Nodes: 2},
+		{Engine: Block, Exec: Par, Nodes: 4},
+	}
+}
+
+// spikeSeed is association-sensitive float data: one huge value followed
+// by ones, so any schedule-dependent float summation diverges in the last
+// bits.
+func spikeSeed(n int) []int64 {
+	xs := make([]int64, n)
+	xs[0] = 1 << 55
+	for i := 1; i < n; i++ {
+		xs[i] = 1
+	}
+	return xs
+}
+
+func rampSeed(n int) []int64 {
+	xs := make([]int64, n)
+	for i := range xs {
+		xs[i] = int64(5*i - 700)
+	}
+	return xs
+}
+
+// mustAgree fails the test with a shrunk reproducer when the mode list
+// disagrees on p.
+func mustAgree(t *testing.T, p Pipeline, modes []Mode, opt Options) {
+	t.Helper()
+	m, err := CheckModes(p, modes, opt)
+	if err != nil {
+		t.Fatalf("oracle error on %s: %v", p, err)
+	}
+	if m == nil {
+		return
+	}
+	shrunk := Shrink(p, func(q Pipeline) bool {
+		mm, err := CheckModes(q, modes, opt)
+		return err == nil && mm != nil
+	}, 200)
+	sm, _ := CheckModes(shrunk, modes, opt)
+	if sm == nil {
+		sm = m
+	}
+	repro := Reproducer(sm.Pipeline, sm.A, sm.B, opt)
+	if path, err := WriteArtifact("reproducer.go.txt", repro); err == nil && path != "" {
+		t.Logf("reproducer written to %s", path)
+	}
+	t.Fatalf("%s\nminimized reproducer:\n%s", sm, repro)
+}
+
+func TestGateCrossModeOracleFullMatrix(t *testing.T) {
+	pipelines := []Pipeline{
+		{Seed: spikeSeed(600), Ops: []iter.PipeOp{{Kind: 0, A: 2, B: 3}}},
+		{Seed: rampSeed(777), Ops: []iter.PipeOp{{Kind: 0, A: 1, B: 4}, {Kind: 1, A: 1, B: 0}}},
+		{Seed: rampSeed(300), Ops: []iter.PipeOp{{Kind: 2, A: 2, B: 0}}}, // concatMap
+	}
+	for _, p := range pipelines {
+		mustAgree(t, p, fullMatrix(), Options{})
+	}
+}
+
+// Non-splittable pipelines (Take/Drop/Chain/Scan heads) execute as one
+// whole-domain piece in the chunked executors; the oracle must still hold.
+func TestGateNonSplittablePipelines(t *testing.T) {
+	pipelines := []Pipeline{
+		{Seed: rampSeed(500), Ops: []iter.PipeOp{{Kind: 3, A: 35, B: 0}}},                       // take
+		{Seed: rampSeed(500), Ops: []iter.PipeOp{{Kind: 4, A: 7, B: 0}, {Kind: 0, A: 3, B: 1}}}, // drop, map
+		{Seed: spikeSeed(400), Ops: []iter.PipeOp{{Kind: 5, A: 9, B: 250}}},                     // chain
+		{Seed: rampSeed(400), Ops: []iter.PipeOp{{Kind: 6, A: 0, B: 2}}},                        // scan
+		{Seed: rampSeed(600), Ops: []iter.PipeOp{{Kind: 6, A: 0, B: 1}, {Kind: 3, A: 39, B: 0}}},
+	}
+	for _, p := range pipelines {
+		mustAgree(t, p, quickMatrix(), Options{})
+	}
+}
+
+func TestGateEmptyAndTinyDomains(t *testing.T) {
+	for _, p := range []Pipeline{
+		{Seed: nil},
+		{Seed: []int64{42}},
+		{Seed: []int64{-3, 9}, Ops: []iter.PipeOp{{Kind: 1, A: 0, B: 0}}},
+		{Seed: rampSeed(3), Ops: []iter.PipeOp{{Kind: 3, A: 0, B: 0}}}, // take 0
+	} {
+		mustAgree(t, p, quickMatrix(), Options{})
+	}
+}
+
+func TestGateRandomPipelines(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260806))
+	opt := Options{}
+	checked := 0
+	for checked < 8 {
+		n := 1 + rng.Intn(900)
+		seed := make([]int64, n)
+		for i := range seed {
+			seed[i] = rng.Int63n(2001) - 1000
+		}
+		ops := make([]iter.PipeOp, rng.Intn(5))
+		for i := range ops {
+			ops[i] = iter.PipeOp{Kind: uint8(rng.Intn(256)), A: uint8(rng.Intn(256)), B: uint8(rng.Intn(256))}
+		}
+		p := Pipeline{Seed: seed, Ops: ops}
+		if _, ok := p.Ref(50000); !ok {
+			continue // exploded; skip
+		}
+		mustAgree(t, p, quickMatrix(), opt)
+		checked++
+	}
+}
+
+// The acceptance property verbatim: a float sum over association-sensitive
+// data is bit-identical across 1, 2, 4, and 8 virtual nodes (and the
+// thread-parallel path), block or per-element engine.
+func TestGateFloatSumBitIdenticalAcrossNodeCounts(t *testing.T) {
+	p := Pipeline{Seed: spikeSeed(10007)}
+	opt := Options{}
+	var bits []uint64
+	var modes []Mode
+	for _, eng := range []Engine{PerElement, Block} {
+		modes = append(modes, Mode{Engine: eng, Exec: LocalPar})
+		for _, nodes := range []int{1, 2, 4, 8} {
+			modes = append(modes, Mode{Engine: eng, Exec: Par, Nodes: nodes})
+		}
+	}
+	for _, m := range modes {
+		o, err := Run(p, m, opt)
+		if err != nil {
+			t.Fatalf("%s: %v", m, err)
+		}
+		bits = append(bits, math.Float64bits(o.FSum))
+	}
+	for i := 1; i < len(bits); i++ {
+		if bits[i] != bits[0] {
+			t.Fatalf("float sum diverged: %s = %x, %s = %x", modes[0], bits[0], modes[i], bits[i])
+		}
+	}
+	// And the deterministic family sits within tolerance of the
+	// sequential left fold.
+	seq, err := Run(p, Mode{Engine: PerElement, Exec: Seq}, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !TolFloatSum.Within(seq.FSum, math.Float64frombits(bits[0]), math.Max(seq.FAbs, seq.FAbs)) {
+		t.Fatalf("det family %v vs seq %v exceeds TolFloatSum", math.Float64frombits(bits[0]), seq.FSum)
+	}
+}

@@ -1,0 +1,140 @@
+package diffcheck
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"triolet/internal/iter"
+)
+
+// Shrink greedily minimizes a failing pipeline: it repeatedly tries to
+// drop ops, cut spans out of the seed, and simplify surviving seed values,
+// keeping every change under which failing still reports true, until a
+// fixpoint (or the evaluation budget runs out). failing must be
+// deterministic. The result is the pipeline a reproducer should commit.
+func Shrink(p Pipeline, failing func(Pipeline) bool, budget int) Pipeline {
+	if budget <= 0 {
+		budget = 500
+	}
+	calls := 0
+	try := func(q Pipeline) bool {
+		if calls >= budget {
+			return false
+		}
+		calls++
+		return failing(q)
+	}
+	for changed := true; changed; {
+		changed = false
+		// Drop ops, one at a time.
+		for i := 0; i < len(p.Ops); {
+			q := p
+			q.Ops = append(append([]iter.PipeOp{}, p.Ops[:i]...), p.Ops[i+1:]...)
+			if try(q) {
+				p = q
+				changed = true
+			} else {
+				i++
+			}
+		}
+		// Cut spans out of the seed, largest first (ddmin-style).
+		for span := len(p.Seed) / 2; span >= 1; span /= 2 {
+			for lo := 0; lo+span <= len(p.Seed); {
+				q := p
+				q.Seed = append(append([]int64{}, p.Seed[:lo]...), p.Seed[lo+span:]...)
+				if try(q) {
+					p = q
+					changed = true
+				} else {
+					lo += span
+				}
+			}
+		}
+		// Simplify surviving seed values toward zero.
+		for i := range p.Seed {
+			for _, alt := range []int64{0, 1, p.Seed[i] / 2} {
+				if alt == p.Seed[i] {
+					continue
+				}
+				q := p
+				q.Seed = append([]int64{}, p.Seed...)
+				q.Seed[i] = alt
+				if try(q) {
+					p = q
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	return p
+}
+
+// Reproducer renders a minimized failing case as a ready-to-commit Go test
+// snippet: the seed, the op sequence, and the diverging mode pair, checked
+// through Compare. Promote the snippet into
+// internal/diffcheck/regression_test.go when a soak or fuzz run finds a
+// real divergence.
+func Reproducer(p Pipeline, a, b Mode, opt Options) string {
+	var sb strings.Builder
+	sb.WriteString("// Minimized by diffcheck.Shrink. Promote into regression_test.go.\n")
+	sb.WriteString("func TestDiffcheckRegression(t *testing.T) {\n")
+	sb.WriteString("\tp := diffcheck.Pipeline{\n")
+	fmt.Fprintf(&sb, "\t\tSeed: %#v,\n", p.Seed)
+	sb.WriteString("\t\tOps: []iter.PipeOp{")
+	for i, op := range p.Ops {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		fmt.Fprintf(&sb, "{Kind: %d, A: %d, B: %d}", op.Kind, op.A, op.B)
+	}
+	sb.WriteString("},\n\t}\n")
+	fmt.Fprintf(&sb, "\ta := %s\n", modeLiteral(a))
+	fmt.Fprintf(&sb, "\tb := %s\n", modeLiteral(b))
+	fmt.Fprintf(&sb, "\topt := diffcheck.Options{Chunk: %d, Cores: %d}\n", opt.chunk(), opt.cores())
+	sb.WriteString("\tm, err := diffcheck.Compare(p, a, b, opt)\n")
+	sb.WriteString("\tif err != nil {\n\t\tt.Fatal(err)\n\t}\n")
+	sb.WriteString("\tif m != nil {\n\t\tt.Fatal(m)\n\t}\n")
+	sb.WriteString("}\n")
+	return sb.String()
+}
+
+func modeLiteral(m Mode) string {
+	eng := "diffcheck.PerElement"
+	if m.Engine == Block {
+		eng = "diffcheck.Block"
+	}
+	exec := map[Exec]string{Seq: "diffcheck.Seq", LocalPar: "diffcheck.LocalPar", Par: "diffcheck.Par"}[m.Exec]
+	s := fmt.Sprintf("diffcheck.Mode{Engine: %s, Exec: %s", eng, exec)
+	if m.Exec == Par {
+		s += fmt.Sprintf(", Nodes: %d", m.nodes())
+		if m.Fabric == Lossy {
+			s += ", Fabric: diffcheck.Lossy"
+		}
+		if m.Lifecycle == Resume {
+			s += ", Lifecycle: diffcheck.Resume"
+		}
+	}
+	return s + "}"
+}
+
+// WriteArtifact saves a reproducer where CI can pick it up: under
+// $DIFFCHECK_ARTIFACT_DIR when set (the CI workflows upload that directory
+// on failure), or nowhere (returning "") when unset — local runs already
+// print the reproducer in the test log.
+func WriteArtifact(name, content string) (string, error) {
+	dir := os.Getenv("DIFFCHECK_ARTIFACT_DIR")
+	if dir == "" {
+		return "", nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
+}

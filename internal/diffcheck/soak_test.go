@@ -1,0 +1,99 @@
+package diffcheck
+
+import (
+	"math/rand"
+	"os"
+	"strconv"
+	"testing"
+
+	"triolet/internal/iter"
+)
+
+// TestSoakRandomPipelines is the nightly deep soak: long random pipeline
+// streams through the full mode matrix (including the lossy and resume
+// cells), intended to run under -race. Gated behind DIFFCHECK_SOAK so PR
+// gates stay fast; DIFFCHECK_SOAK_SEED pins the stream for replay.
+func TestSoakRandomPipelines(t *testing.T) {
+	n, _ := strconv.Atoi(os.Getenv("DIFFCHECK_SOAK"))
+	if n <= 0 {
+		t.Skip("set DIFFCHECK_SOAK=<iterations> to run the deep soak")
+	}
+	seed := int64(1)
+	if s, err := strconv.ParseInt(os.Getenv("DIFFCHECK_SOAK_SEED"), 10, 64); err == nil {
+		seed = s
+	}
+	rng := rand.New(rand.NewSource(seed))
+	t.Logf("soak: %d pipelines, stream seed %d", n, seed)
+	checked := 0
+	for checked < n {
+		p := randomPipeline(rng)
+		if _, ok := p.Ref(100000); !ok {
+			continue
+		}
+		// The full matrix on every 8th pipeline; the quick matrix otherwise.
+		modes := quickMatrix()
+		if checked%8 == 0 {
+			modes = fullMatrix()
+		}
+		mustAgree(t, p, modes, Options{})
+		checked++
+		if checked%50 == 0 {
+			t.Logf("soak: %d/%d pipelines agree", checked, n)
+		}
+	}
+}
+
+func randomPipeline(rng *rand.Rand) Pipeline {
+	n := rng.Intn(2000)
+	seed := make([]int64, n)
+	for i := range seed {
+		switch rng.Intn(10) {
+		case 0:
+			seed[i] = 1 << uint(40+rng.Intn(15)) // magnitude spikes
+		case 1:
+			seed[i] = -(1 << uint(40+rng.Intn(15)))
+		default:
+			seed[i] = rng.Int63n(20001) - 10000
+		}
+	}
+	ops := make([]iter.PipeOp, rng.Intn(6))
+	for i := range ops {
+		ops[i] = iter.PipeOp{
+			Kind: uint8(rng.Intn(256)),
+			A:    uint8(rng.Intn(256)),
+			B:    uint8(rng.Intn(256)),
+		}
+	}
+	return Pipeline{Seed: seed, Ops: ops}
+}
+
+// FuzzCrossMode feeds arbitrary bytes in as op streams over a fixed
+// adversarial seed and demands cross-mode agreement. The corpus doubles as
+// the replay set for divergences the soak finds.
+func FuzzCrossMode(f *testing.F) {
+	f.Add([]byte{0, 2, 3})
+	f.Add([]byte{1, 1, 0, 0, 1, 4})
+	f.Add([]byte{2, 2, 0})
+	f.Add([]byte{3, 35, 0, 6, 0, 2})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		if len(raw) > 15 { // at most 5 ops
+			raw = raw[:15]
+		}
+		ops := make([]iter.PipeOp, 0, len(raw)/3)
+		for i := 0; i+2 < len(raw); i += 3 {
+			ops = append(ops, iter.PipeOp{Kind: raw[i], A: raw[i+1], B: raw[i+2]})
+		}
+		p := Pipeline{Seed: spikeSeed(300), Ops: ops}
+		if _, ok := p.Ref(50000); !ok {
+			t.Skip("pipeline explodes")
+		}
+		m, err := CheckModes(p, quickMatrix(), Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m != nil {
+			t.Fatalf("%s", m)
+		}
+	})
+}

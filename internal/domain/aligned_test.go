@@ -1,0 +1,84 @@
+package domain
+
+import "testing"
+
+// AlignedPartition invariants: exact contiguous cover of [0, n), every
+// boundary except the final Hi a multiple of align, no align-chunk
+// straddling two blocks, and chunk counts per block differing by at most
+// one. These are the properties the deterministic reduction skeletons rely
+// on to keep partial-sum boundaries independent of the node count.
+func TestAlignedPartitionProperties(t *testing.T) {
+	aligns := []int{1, 2, 16, 256}
+	for _, align := range aligns {
+		for n := 0; n <= 4*align+7; n += max(1, align/3) {
+			for p := 1; p <= 9; p++ {
+				out := AlignedPartition(n, p, align)
+				if len(out) != p {
+					t.Fatalf("n=%d p=%d align=%d: %d blocks", n, p, align, len(out))
+				}
+				lo := 0
+				minChunks, maxChunks := int(^uint(0)>>1), 0
+				for i, r := range out {
+					if r.Lo != lo {
+						t.Fatalf("n=%d p=%d align=%d: block %d starts at %d, want %d", n, p, align, i, r.Lo, lo)
+					}
+					if r.Hi < r.Lo {
+						t.Fatalf("n=%d p=%d align=%d: inverted block %v", n, p, align, r)
+					}
+					if r.Lo%align != 0 && r.Lo != n {
+						t.Fatalf("n=%d p=%d align=%d: block %d Lo %d unaligned", n, p, align, i, r.Lo)
+					}
+					if i < p-1 && r.Hi%align != 0 && r.Hi != n {
+						t.Fatalf("n=%d p=%d align=%d: interior boundary %d unaligned", n, p, align, r.Hi)
+					}
+					c := (r.Len() + align - 1) / align
+					if c < minChunks {
+						minChunks = c
+					}
+					if c > maxChunks {
+						maxChunks = c
+					}
+					lo = r.Hi
+				}
+				if lo != n {
+					t.Fatalf("n=%d p=%d align=%d: cover ends at %d", n, p, align, lo)
+				}
+				// Whole-chunk balance: block sizes in chunks differ by <= 1
+				// (the final block's ragged chunk still counts as one).
+				if maxChunks-minChunks > 1 {
+					t.Fatalf("n=%d p=%d align=%d: chunk imbalance %d..%d", n, p, align, minChunks, maxChunks)
+				}
+			}
+		}
+	}
+}
+
+// With align=1 AlignedPartition degenerates to BlockPartition exactly.
+func TestAlignedPartitionAlignOneIsBlockPartition(t *testing.T) {
+	for n := 0; n < 40; n++ {
+		for p := 1; p <= 6; p++ {
+			got := AlignedPartition(n, p, 1)
+			want := BlockPartition(n, p)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("n=%d p=%d: block %d = %v, want %v", n, p, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestAlignedPartitionPanics(t *testing.T) {
+	for _, bad := range []struct{ n, p, align int }{
+		{10, 2, 0}, {10, 2, -1}, {-1, 2, 4}, {10, 0, 4},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("AlignedPartition(%d,%d,%d) did not panic", bad.n, bad.p, bad.align)
+				}
+			}()
+			AlignedPartition(bad.n, bad.p, bad.align)
+		}()
+	}
+}

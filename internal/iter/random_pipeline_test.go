@@ -15,100 +15,12 @@ import (
 // evaluation must recombine to the sequential result. This exercises the
 // constructor case analysis (paper Fig. 2) across compositions no
 // hand-written test enumerates.
-
-// pipeOp is one randomly chosen operation, driven by two parameter bytes.
-type pipeOp struct {
-	Kind uint8
-	A, B uint8
-}
-
-// applyIter applies the op to the iterator side.
-func applyIter(op pipeOp, it Iter[int64]) Iter[int64] {
-	switch op.Kind % 7 {
-	case 0: // map: affine
-		k := int64(op.A%5) + 1
-		c := int64(op.B % 7)
-		return Map(func(x int64) int64 { return k*x + c }, it)
-	case 1: // filter: residue class
-		m := int64(op.A%3) + 2
-		r := int64(op.B) % m
-		return Filter(func(x int64) bool { return ((x%m)+m)%m == r }, it)
-	case 2: // concatMap: expand into |x| % k values
-		k := int64(op.A%3) + 2
-		return ConcatMap(func(x int64) Iter[int64] {
-			n := int(((x % k) + k) % k)
-			return Map(func(j int) int64 { return x + int64(j) }, Range(n))
-		}, it)
-	case 3: // take
-		return Take(int(op.A%40), it)
-	case 4: // drop
-		return Drop(int(op.A%10), it)
-	case 5: // chain a small constant block
-		extra := []int64{int64(op.A), int64(op.B), -3}
-		return Chain(it, FromSlice(extra))
-	default: // scan (running sum)
-		return Scan(it, int64(op.B%4), func(a, v int64) int64 { return a + v })
-	}
-}
-
-// applyRef applies the same op to the reference slice.
-func applyRef(op pipeOp, xs []int64) []int64 {
-	switch op.Kind % 7 {
-	case 0:
-		k := int64(op.A%5) + 1
-		c := int64(op.B % 7)
-		out := make([]int64, len(xs))
-		for i, x := range xs {
-			out[i] = k*x + c
-		}
-		return out
-	case 1:
-		m := int64(op.A%3) + 2
-		r := int64(op.B) % m
-		var out []int64
-		for _, x := range xs {
-			if ((x%m)+m)%m == r {
-				out = append(out, x)
-			}
-		}
-		return out
-	case 2:
-		k := int64(op.A%3) + 2
-		var out []int64
-		for _, x := range xs {
-			n := int(((x % k) + k) % k)
-			for j := 0; j < n; j++ {
-				out = append(out, x+int64(j))
-			}
-		}
-		return out
-	case 3:
-		n := int(op.A % 40)
-		if n > len(xs) {
-			n = len(xs)
-		}
-		return xs[:n]
-	case 4:
-		n := int(op.A % 10)
-		if n > len(xs) {
-			n = len(xs)
-		}
-		return xs[n:]
-	case 5:
-		return append(append([]int64{}, xs...), int64(op.A), int64(op.B), -3)
-	default:
-		acc := int64(op.B % 4)
-		out := make([]int64, len(xs))
-		for i, x := range xs {
-			acc += x
-			out[i] = acc
-		}
-		return out
-	}
-}
+//
+// The op encoding and both interpreters live in pipegen.go, shared with the
+// cross-mode differential oracle (internal/diffcheck).
 
 func TestRandomPipelinesAgainstReference(t *testing.T) {
-	prop := func(seed []int16, ops []pipeOp) bool {
+	prop := func(seed []int16, ops []PipeOp) bool {
 		if len(ops) > 6 {
 			ops = ops[:6] // concatMap chains can explode; bound depth
 		}
@@ -119,8 +31,8 @@ func TestRandomPipelinesAgainstReference(t *testing.T) {
 		it := FromSlice(xs)
 		ref := xs
 		for _, op := range ops {
-			it = applyIter(op, it)
-			ref = applyRef(op, ref)
+			it = ApplyPipeOp(op, it)
+			ref = ApplyPipeOpRef(op, ref)
 			if len(ref) > 50000 {
 				return true // skip exploded cases
 			}
@@ -179,7 +91,7 @@ func TestRandomPipelinesAgainstReference(t *testing.T) {
 // The same generative check through the fold path (Any-driven early
 // termination must never change which elements exist).
 func TestRandomPipelinesFindAgreesWithReference(t *testing.T) {
-	prop := func(seed []int16, ops []pipeOp, probe int16) bool {
+	prop := func(seed []int16, ops []PipeOp, probe int16) bool {
 		if len(ops) > 5 {
 			ops = ops[:5]
 		}
@@ -190,8 +102,8 @@ func TestRandomPipelinesFindAgreesWithReference(t *testing.T) {
 		it := FromSlice(xs)
 		ref := xs
 		for _, op := range ops {
-			it = applyIter(op, it)
-			ref = applyRef(op, ref)
+			it = ApplyPipeOp(op, it)
+			ref = ApplyPipeOpRef(op, ref)
 			if len(ref) > 20000 {
 				return true
 			}
@@ -211,6 +123,38 @@ func TestRandomPipelinesFindAgreesWithReference(t *testing.T) {
 		return !ok || got == target
 	}
 	cfg := &quick.Config{MaxCount: 200}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// BuildPipeline/RefPipeline must agree with op-by-op application (they are
+// the forms diffcheck and the fuzz targets consume).
+func TestPipelineHelpersAgreeWithStepwiseApplication(t *testing.T) {
+	prop := func(seed []int16, ops []PipeOp) bool {
+		if len(ops) > 6 {
+			ops = ops[:6]
+		}
+		xs := make([]int64, len(seed))
+		for i, v := range seed {
+			xs[i] = int64(v % 100)
+		}
+		ref, ok := RefPipeline(xs, ops, 50000)
+		if !ok {
+			return true
+		}
+		got := ToSlice(BuildPipeline(xs, ops))
+		if len(got) != len(ref) {
+			return false
+		}
+		for i := range ref {
+			if got[i] != ref[i] {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 150}
 	if err := quick.Check(prop, cfg); err != nil {
 		t.Fatal(err)
 	}

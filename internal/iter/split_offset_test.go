@@ -1,0 +1,116 @@
+package iter
+
+import (
+	"testing"
+
+	"triolet/internal/domain"
+)
+
+// Regression tests for sub-ranges at unaligned bases. The scheduler's
+// alignSplit snaps split points to absolute BlockAlign multiples, but
+// small seed blocks can still hand consumers ranges whose base is not a
+// multiple of BlockSize — and distributed partitions cut wherever the node
+// count dictates. The block fast paths must be base-agnostic: a split at
+// any offset yields the same elements under the block driver as under the
+// per-element driver, and FillRange at an offset base writes exactly the
+// right window.
+
+func splitOffsets(n int) []domain.Range {
+	bases := []int{0, 1, 77, BlockSize - 1, BlockSize, BlockSize + 1, 2*BlockSize - 1, 513, 1000}
+	var out []domain.Range
+	for _, lo := range bases {
+		if lo > n {
+			continue
+		}
+		for _, hi := range []int{lo, lo + 1, lo + 200, n - 3, n} {
+			if hi >= lo && hi <= n {
+				out = append(out, domain.Range{Lo: lo, Hi: hi})
+			}
+		}
+	}
+	return out
+}
+
+func TestSplitAtUnalignedOffsetsDriversAgree(t *testing.T) {
+	defer SetBlockDriver(SetBlockDriver(true))
+	const n = 2*BlockSize + 77
+	xs := make([]int64, n)
+	for i := range xs {
+		xs[i] = int64(3*i - 1000)
+	}
+	// Splittable op sequences: flat, nested, and filtered outer kinds.
+	pipelines := [][]PipeOp{
+		nil,                        // raw slice
+		{{Kind: 0, A: 2, B: 5}},    // map
+		{{Kind: 1, A: 1, B: 0}},    // filter
+		{{Kind: 2, A: 2, B: 0}},    // concatMap
+		{{Kind: 0, A: 4, B: 1}, {Kind: 1, A: 2, B: 1}}, // map then filter
+	}
+	for pi, ops := range pipelines {
+		it := BuildPipeline(xs, ops)
+		if !it.CanSplit() {
+			t.Fatalf("pipeline %d not splittable", pi)
+		}
+		outer, _ := it.OuterLen()
+		for _, r := range splitOffsets(outer) {
+			sub := Split(it, r)
+			SetBlockDriver(false)
+			wantSlice := ToSlice(sub)
+			wantSum := Sum(sub)
+			wantCount := Count(sub)
+			SetBlockDriver(true)
+			gotSlice := ToSlice(sub)
+			gotSum := Sum(sub)
+			gotCount := Count(sub)
+			if gotSum != wantSum || gotCount != wantCount {
+				t.Fatalf("pipeline %d split %v: block sum/count %d/%d, per-element %d/%d",
+					pi, r, gotSum, gotCount, wantSum, wantCount)
+			}
+			if len(gotSlice) != len(wantSlice) {
+				t.Fatalf("pipeline %d split %v: block %d elems, per-element %d",
+					pi, r, len(gotSlice), len(wantSlice))
+			}
+			for i := range wantSlice {
+				if gotSlice[i] != wantSlice[i] {
+					t.Fatalf("pipeline %d split %v: elem %d = %d, want %d",
+						pi, r, i, gotSlice[i], wantSlice[i])
+				}
+			}
+		}
+	}
+}
+
+// FillRange at an offset base must write exactly dst's window of the outer
+// domain, under both drivers, for both the slice-backed and the generator
+// fast paths.
+func TestFillRangeAtOffsetBases(t *testing.T) {
+	defer SetBlockDriver(SetBlockDriver(true))
+	const n = 2*BlockSize + 77
+	xs := make([]int64, n)
+	for i := range xs {
+		xs[i] = int64(7*i + 11)
+	}
+	builds := map[string]Iter[int64]{
+		"slice-backed": FromSlice(xs),
+		"mapped":       Map(func(v int64) int64 { return 2*v - 3 }, FromSlice(xs)),
+		"tabulated":    Map(func(i int) int64 { return int64(i) * int64(i) }, Range(n)),
+	}
+	for name, it := range builds {
+		SetBlockDriver(false)
+		ref := ToSlice(it)
+		SetBlockDriver(true)
+		for _, r := range splitOffsets(n) {
+			for _, on := range []bool{false, true} {
+				SetBlockDriver(on)
+				dst := make([]int64, r.Len())
+				FillRange(dst, it, r.Lo)
+				for i, v := range dst {
+					if v != ref[r.Lo+i] {
+						t.Fatalf("%s driver=%v base %d: dst[%d] = %d, want %d",
+							name, on, r.Lo, i, v, ref[r.Lo+i])
+					}
+				}
+			}
+		}
+	}
+}

@@ -60,7 +60,9 @@ func (e *RankLostError) Unwrap() error { return ErrRankLost }
 // defaults noted on each field.
 type ReliableConfig struct {
 	// AckTimeout is the first attempt's acknowledgement deadline
-	// (default 5ms); later attempts back off from it.
+	// (default 5ms); later attempts back off from it. When the fabric
+	// simulates wire delay, the effective deadline is floored at twice the
+	// frame+ack round trip so simulated latency never reads as loss.
 	AckTimeout time.Duration
 	// Retries is the number of retransmissions before a silent peer is
 	// declared lost (default 8).
@@ -123,6 +125,11 @@ type pendFrame struct {
 type reliable struct {
 	c   *Comm
 	cfg ReliableConfig
+	// clk is the fabric's time source. Every protocol deadline — ack
+	// timeouts, receive timeouts — is computed and checked against it, so
+	// timeout behavior follows simulated fabric time and tests can pin it
+	// with an injected clock. Never call time.Now here.
+	clk transport.Clock
 
 	mu      sync.Mutex
 	nextSeq []uint64               // per dst: next sequence number to assign
@@ -138,6 +145,7 @@ func newReliable(c *Comm, cfg ReliableConfig) *reliable {
 	r := &reliable{
 		c:       c,
 		cfg:     cfg.withDefaults(),
+		clk:     c.f.Clock(),
 		nextSeq: make([]uint64, n),
 		acked:   make([]map[uint64]struct{}, n),
 		expect:  make([]uint64, n),
@@ -320,6 +328,21 @@ func (r *reliable) send(ctx context.Context, dst, tag int, payload []byte) error
 	r.mu.Unlock()
 	frame := encodeData(seq, tag, payload)
 	timeout := r.cfg.AckTimeout
+	maxTimeout := r.cfg.MaxAckTimeout
+	// Floor the ack deadline above the simulated round trip. With a wire
+	// delay attached to the fabric, the frame and its ack each spend
+	// WireDelay on the wire; a fixed 5ms default under, say, a 20ms
+	// simulated latency would time out every first attempt and retransmit
+	// the whole stream spuriously. High latency must read as latency, not
+	// as loss.
+	if rtt := r.c.f.WireDelay(len(frame)) + r.c.f.WireDelay(len(encodeAck(seq))); rtt > 0 {
+		if floor := 2 * rtt; timeout < floor {
+			timeout = floor
+		}
+		if maxTimeout < timeout {
+			maxTimeout = timeout
+		}
+	}
 	var endRecover func()
 	finish := func(err error) error {
 		if endRecover != nil {
@@ -352,7 +375,7 @@ func (r *reliable) send(ctx context.Context, dst, tag int, payload []byte) error
 		r.mu.Lock()
 		r.stats.FramesSent++
 		r.mu.Unlock()
-		deadline := time.Now().Add(timeout)
+		deadline := r.clk.Now().Add(timeout)
 		for {
 			r.mu.Lock()
 			if _, ok := r.acked[dst][seq]; ok {
@@ -377,14 +400,14 @@ func (r *reliable) send(ctx context.Context, dst, tag int, payload []byte) error
 			if cerr := ctx.Err(); cerr != nil {
 				return finish(cerr)
 			}
-			if time.Now().After(deadline) {
+			if r.clk.Now().After(deadline) {
 				break
 			}
 			sleepCtx(ctx, r.cfg.PollInterval)
 		}
 		timeout = time.Duration(float64(timeout) * r.cfg.Backoff)
-		if timeout > r.cfg.MaxAckTimeout {
-			timeout = r.cfg.MaxAckTimeout
+		if timeout > maxTimeout {
+			timeout = maxTimeout
 		}
 	}
 }
@@ -410,7 +433,7 @@ func (r *reliable) match(src, tag int) (transport.Message, bool) {
 func (r *reliable) recv(ctx context.Context, src, tag int) (transport.Message, error) {
 	var deadline time.Time
 	if r.cfg.RecvTimeout > 0 {
-		deadline = time.Now().Add(r.cfg.RecvTimeout)
+		deadline = r.clk.Now().Add(r.cfg.RecvTimeout)
 	}
 	for {
 		r.mu.Lock()
@@ -439,7 +462,7 @@ func (r *reliable) recv(ctx context.Context, src, tag int) (transport.Message, e
 		if src != transport.AnySource && src != r.c.Rank() && r.c.f.Crashed(src) {
 			return transport.Message{}, &RankLostError{Rank: src}
 		}
-		if !deadline.IsZero() && time.Now().After(deadline) {
+		if !deadline.IsZero() && r.clk.Now().After(deadline) {
 			return transport.Message{}, fmt.Errorf("mpi: recv(src=%d, tag=%d) timed out after %v: %w",
 				src, tag, r.cfg.RecvTimeout, ErrRankLost)
 		}

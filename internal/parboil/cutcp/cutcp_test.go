@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"triolet/internal/cluster"
+	"triolet/internal/diffcheck"
 	"triolet/internal/domain"
 	"triolet/internal/eden"
 	"triolet/internal/parboil"
@@ -59,7 +60,7 @@ func TestContributionCutoff(t *testing.T) {
 	}
 	s := 1 - 1/(1.5*1.5)
 	want := 2 * s * s
-	if math.Abs(float64(v-float32(want))) > 1e-6 {
+	if !diffcheck.TolCutcpPoint.Within(float64(v), float64(float32(want)), 0) {
 		t.Fatalf("v = %v, want %v", v, want)
 	}
 	// Distance 2 → outside.
@@ -111,7 +112,7 @@ func checkGrid(t *testing.T, name string, got []float32, in *Input) {
 	if len(got) != len(want) {
 		t.Fatalf("%s: %d points, want %d", name, len(got), len(want))
 	}
-	if d := parboil.MaxRelDiff(got, want, 1e-3); d > 1e-4 {
+	if d := diffcheck.TolCutcpGrid.MaxRelDiffF32(got, want); d > diffcheck.TolCutcpGrid.RelDiff {
 		t.Fatalf("%s: max rel diff %v", name, d)
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"triolet/internal/cluster"
+	"triolet/internal/diffcheck"
 	"triolet/internal/parboil"
 )
 
@@ -27,7 +28,7 @@ func TestSlabMatchesSeq(t *testing.T) {
 		if len(got) != len(want) {
 			t.Fatalf("%+v: %d points, want %d", cfg, len(got), len(want))
 		}
-		if d := parboil.MaxRelDiff(got, want, 1e-3); d > 1e-4 {
+		if d := diffcheck.TolCutcpGrid.MaxRelDiffF32(got, want); d > diffcheck.TolCutcpGrid.RelDiff {
 			t.Fatalf("%+v: max rel diff %v", cfg, d)
 		}
 	}
@@ -40,7 +41,7 @@ func TestRefSlabMatchesSeq(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if d := parboil.MaxRelDiff(got, want, 1e-3); d > 1e-4 {
+	if d := diffcheck.TolCutcpGrid.MaxRelDiffF32(got, want); d > diffcheck.TolCutcpGrid.RelDiff {
 		t.Fatalf("max rel diff %v", d)
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"triolet/internal/cluster"
+	"triolet/internal/diffcheck"
 	"triolet/internal/eden"
 	"triolet/internal/parboil"
 )
@@ -49,7 +50,7 @@ func TestSeqSingleSampleAnalytic(t *testing.T) {
 	e := 2 * math.Pi * (0.5 + 0.25)
 	wantRe := 2 * float32(math.Cos(e))
 	wantIm := 2 * float32(math.Sin(e))
-	if math.Abs(float64(got.Re-wantRe)) > 1e-6 || math.Abs(float64(got.Im-wantIm)) > 1e-6 {
+	if !diffcheck.TolMriq.Within(float64(got.Re), float64(wantRe), 0) || !diffcheck.TolMriq.Within(float64(got.Im), float64(wantIm), 0) {
 		t.Fatalf("Q = %+v, want (%v, %v)", got, wantRe, wantIm)
 	}
 }

@@ -6,6 +6,7 @@ import (
 
 	"triolet/internal/array"
 	"triolet/internal/cluster"
+	"triolet/internal/diffcheck"
 	"triolet/internal/eden"
 	"triolet/internal/parboil"
 	"triolet/internal/sched"
@@ -43,7 +44,7 @@ func TestSeqAlphaScales(t *testing.T) {
 	in2 := &Input{A: in.A, B: in.B, Alpha: in.Alpha * 2}
 	c2 := Seq(in2)
 	for i := range c1.Data {
-		if d := c2.Data[i] - 2*c1.Data[i]; d > 1e-5 || d < -1e-5 {
+		if !diffcheck.TolSgemm.Within(float64(c2.Data[i]), float64(2*c1.Data[i]), 0) {
 			t.Fatalf("alpha scaling broken at %d: %v vs %v", i, c2.Data[i], c1.Data[i])
 		}
 	}

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"triolet/internal/cluster"
+	"triolet/internal/diffcheck"
 	"triolet/internal/eden"
 	"triolet/internal/iter"
 	"triolet/internal/parboil"
@@ -23,7 +24,7 @@ func TestGenDeterministicAndUnit(t *testing.T) {
 	}
 	for _, p := range a.Obs {
 		n := math.Sqrt(float64(p.X*p.X + p.Y*p.Y + p.Z*p.Z))
-		if math.Abs(n-1) > 1e-5 {
+		if !diffcheck.TolTpacfNorm.Within(n, 1, 0) {
 			t.Fatalf("point not on unit sphere: norm %v", n)
 		}
 	}

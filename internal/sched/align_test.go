@@ -1,0 +1,73 @@
+package sched
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// alignSplit's contract, including at unaligned bases: the cut always lies
+// in (lo, mid] — never emptying either half, never escaping the range —
+// and is an absolute BlockAlign multiple whenever one fits above lo.
+func TestAlignSplitInvariants(t *testing.T) {
+	bases := []int{0, 1, 7, 255, 256, 257, 511, 512, 1000}
+	for _, lo := range bases {
+		for mid := lo + 1; mid < lo+3*BlockAlign+5; mid++ {
+			got := alignSplit(lo, mid)
+			if got <= lo || got > mid {
+				t.Fatalf("alignSplit(%d, %d) = %d escapes (lo, mid]", lo, mid, got)
+			}
+			if got%BlockAlign != 0 && got != mid {
+				t.Fatalf("alignSplit(%d, %d) = %d neither aligned nor the proposal", lo, mid, got)
+			}
+			// If an aligned cut above lo exists at or below mid, it is taken.
+			if a := mid &^ (BlockAlign - 1); a > lo && got != a {
+				t.Fatalf("alignSplit(%d, %d) = %d, aligned cut %d available", lo, mid, got, a)
+			}
+		}
+	}
+}
+
+// ParallelFor must execute every index exactly once for adversarial
+// (n, workers, grain) shapes — including those that leave seed blocks
+// shorter than BlockAlign, which is the only way a split range acquires an
+// unaligned base. When every seed block is at least BlockAlign long and the
+// grain is at least 2*BlockAlign (so a halving proposal always reaches the
+// next absolute boundary), every leaf range additionally starts on a
+// BlockAlign boundary (the property that keeps block kernels full-width).
+func TestParallelForExactCoverAdversarialShapes(t *testing.T) {
+	ns := []int{1, 2, 31, 255, 256, 257, 511, 513, 1000, 4097, 3 * BlockAlign * 8}
+	for _, workers := range []int{1, 2, 3, 8} {
+		p := NewPool(workers)
+		for _, n := range ns {
+			for _, grain := range []int{1, 32, 256, 512, 1000} {
+				hits := make([]int32, n)
+				var mu sync.Mutex
+				var leaves [][2]int
+				p.ParallelFor(n, grain, func(_, lo, hi int) {
+					mu.Lock()
+					leaves = append(leaves, [2]int{lo, hi})
+					mu.Unlock()
+					for i := lo; i < hi; i++ {
+						atomic.AddInt32(&hits[i], 1)
+					}
+				})
+				for i, h := range hits {
+					if h != 1 {
+						t.Fatalf("workers=%d n=%d grain=%d: index %d ran %d times",
+							workers, n, grain, i, h)
+					}
+				}
+				if n >= workers*BlockAlign && grain >= 2*BlockAlign {
+					for _, l := range leaves {
+						if l[0]%BlockAlign != 0 {
+							t.Fatalf("workers=%d n=%d grain=%d: leaf [%d,%d) has unaligned base",
+								workers, n, grain, l[0], l[1])
+						}
+					}
+				}
+			}
+		}
+		p.Close()
+	}
+}

@@ -24,6 +24,16 @@ const BlockAlign = 256
 
 // alignSplit snaps a proposed split point down to a BlockAlign boundary
 // when that keeps both halves non-empty; otherwise the proposal stands.
+//
+// lo need not itself be aligned: snapping targets absolute multiples of
+// BlockAlign, so a sub-range with a ragged base (possible only when a
+// ParallelFor seed block is shorter than BlockAlign) realigns at its first
+// interior boundary rather than propagating the ragged phase. Coverage is
+// unconditionally safe either way — the cut always lands in (lo, mid], so
+// both halves stay inside the original range and their union is exact;
+// alignment is purely a block-kernel-width optimization. The invariants
+// are pinned by TestAlignSplitInvariants and
+// TestParallelForExactCoverAdversarialShapes.
 func alignSplit(lo, mid int) int {
 	if a := mid &^ (BlockAlign - 1); a > lo {
 		return a

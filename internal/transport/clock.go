@@ -1,0 +1,42 @@
+package transport
+
+import "time"
+
+// Clock is the fabric's time source. Protocol layers built on the fabric —
+// notably the reliable layer's acknowledgement deadlines — must read time
+// through it rather than calling time.Now directly, so tests can inject a
+// controlled clock and prove that timeout behavior is a function of fabric
+// time, not of wall-clock scheduling jitter. The default is the system
+// clock.
+type Clock interface {
+	Now() time.Time
+}
+
+// systemClock is the default Clock: real time.
+type systemClock struct{}
+
+func (systemClock) Now() time.Time { return time.Now() }
+
+// SystemClock returns the real-time clock the fabric uses by default.
+func SystemClock() Clock { return systemClock{} }
+
+// Clock returns the fabric's time source: Config.Clock if one was
+// injected, the system clock otherwise.
+func (f *Fabric) Clock() Clock {
+	if f.cfg.Clock != nil {
+		return f.cfg.Clock
+	}
+	return systemClock{}
+}
+
+// WireDelay reports how long the fabric will hold a payload of the given
+// size before it becomes receivable: zero without a DelayConfig, latency +
+// size/bandwidth with one. Timeout-based protocols use it to floor their
+// deadlines above the round-trip time, so simulated latency produces
+// latency — not spurious retransmissions.
+func (f *Fabric) WireDelay(bytes int) time.Duration {
+	if f.cfg.Delay == nil {
+		return 0
+	}
+	return f.cfg.Delay.delayFor(bytes)
+}

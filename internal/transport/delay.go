@@ -77,7 +77,7 @@ func (d *delayer) submit(src, dst, tag int, payload []byte) {
 	eq.mu.Lock()
 	eq.pending = append(eq.pending, delayedMsg{
 		dst: dst, tag: tag, payload: payload,
-		readyAt: time.Now().Add(d.cfg.delayFor(len(payload))),
+		readyAt: d.f.Clock().Now().Add(d.cfg.delayFor(len(payload))),
 	})
 	if !eq.running {
 		eq.running = true
@@ -101,7 +101,7 @@ func (d *delayer) drain(src int, eq *edgeQueue) {
 		eq.pending = eq.pending[1:]
 		eq.mu.Unlock()
 
-		if wait := time.Until(m.readyAt); wait > 0 {
+		if wait := m.readyAt.Sub(d.f.Clock().Now()); wait > 0 {
 			time.Sleep(wait)
 		}
 		d.f.deliver(src, m.dst, m.tag, m.payload)

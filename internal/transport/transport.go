@@ -54,6 +54,10 @@ type Config struct {
 	// drop/duplicate/reorder/corrupt/delay probabilities per link plus
 	// per-rank pause and crash schedules (see FaultConfig).
 	Fault *FaultConfig
+	// Clock, when non-nil, replaces the system clock as the fabric's time
+	// source (see Clock). Protocol deadlines computed against the fabric —
+	// the reliable layer's ack and receive timeouts — follow it.
+	Clock Clock
 }
 
 // Message is one delivered payload.
