@@ -4,7 +4,7 @@
 GO ?= go
 
 .PHONY: build test race chaos chaos-resume fuzz fuzz-wal bench bench-baseline \
-	diffcheck-gate diffcheck-soak lint vet all
+	alloc-gate msg-gate msg-baseline diffcheck-gate diffcheck-soak lint vet all
 
 all: vet build test
 
@@ -54,6 +54,21 @@ bench:
 # commit BENCH_BASELINE.json).
 bench-baseline:
 	$(GO) run ./cmd/triolet-bench -bench-gate -write-baseline BENCH_BASELINE.json
+
+# Steady-state allocation gate: AllocsPerRun proofs over the block
+# engine's fast paths (must run without -race; the detector instruments
+# allocations).
+alloc-gate:
+	$(GO) test -count=1 -timeout 5m \
+		-run 'ZeroAllocs|Allocs|Arena|Presize' ./internal/iter/
+
+# Message-volume regression gate against the checked-in wire baseline.
+msg-gate:
+	$(GO) run ./cmd/triolet-bench -msg-gate -msg-baseline MSG_BASELINE.json
+
+# Re-measure and overwrite the wire baseline, then commit MSG_BASELINE.json.
+msg-baseline:
+	$(GO) run ./cmd/triolet-bench -msg-gate -write-msg-baseline MSG_BASELINE.json
 
 # The cross-mode differential oracle's fast subset (ci.yml runs this on
 # every push): all four mode axes, seconds of wall time.

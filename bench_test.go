@@ -10,18 +10,21 @@ package triolet
 
 import (
 	"testing"
+	"time"
 
 	"triolet/internal/cluster"
 	"triolet/internal/core"
 	"triolet/internal/domain"
 	"triolet/internal/eden"
 	"triolet/internal/iter"
+	"triolet/internal/mpi"
 	"triolet/internal/parboil/cutcp"
 	"triolet/internal/parboil/mriq"
 	"triolet/internal/parboil/sgemm"
 	"triolet/internal/parboil/tpacf"
 	"triolet/internal/sched"
 	"triolet/internal/serial"
+	"triolet/internal/transport"
 )
 
 var benchCluster = cluster.Config{Nodes: 4, CoresPerNode: 2}
@@ -547,6 +550,121 @@ func BenchmarkAblationFlatVsTwoLevel(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkFusedReductions measures the two-source reduction pipelines the
+// fused kernels in iter/fuse.go accelerate — zipWith-sum and the
+// Pair-routed dot product — against the hand-written loop they chase. The
+// remaining gap is the one indirect user-function call per element that
+// opaque closures cost in Go (see DESIGN.md §11); the bench gate holds the
+// ratio, this group makes the absolute numbers visible in CI logs.
+func BenchmarkFusedReductions(b *testing.B) {
+	n := 1 << 15
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := range xs {
+		xs[i] = float64(i%911) * 0.5
+		ys[i] = float64(i%613) * 0.25
+	}
+	b.Run("zipwith-sum", func(b *testing.B) {
+		it := iter.ZipWith(func(x, y float64) float64 { return x * y },
+			iter.FromSlice(xs), iter.FromSlice(ys))
+		for b.Loop() {
+			sinkF64 = iter.Sum(it)
+		}
+	})
+	b.Run("dot-product", func(b *testing.B) {
+		it := iter.Map(func(p iter.Pair[float64, float64]) float64 { return p.Fst * p.Snd },
+			iter.Zip(iter.FromSlice(xs), iter.FromSlice(ys)))
+		for b.Loop() {
+			sinkF64 = iter.Sum(it)
+		}
+	})
+	b.Run("loop", func(b *testing.B) {
+		for b.Loop() {
+			var acc float64
+			for i := range xs {
+				acc += xs[i] * ys[i]
+			}
+			sinkF64 = acc
+		}
+	})
+}
+
+// BenchmarkFarmFrameCoalescing measures the farm control-plane wire path —
+// bursts of worker heartbeats punctuated by small result sends — with the
+// reliable layer's coalescing on and off. Coalescing batches the beats
+// into one CRC-framed container (and drops their acks entirely), roughly
+// halving bytes and cutting messages ~6x; the msg-gate asserts the byte
+// reduction, this bench tracks the time cost per batch.
+func BenchmarkFarmFrameCoalescing(b *testing.B) {
+	run := func(b *testing.B, disable bool) {
+		f := transport.New(transport.Config{Ranks: 2})
+		defer f.Close()
+		cfg := mpi.ReliableConfig{
+			AckTimeout:      time.Second,
+			CoalesceLimit:   8,
+			DisableCoalesce: disable,
+		}
+		worker := mpi.NewReliableComm(f, 0, cfg)
+		master := mpi.NewReliableComm(f, 1, cfg)
+		result := make([]byte, 24)
+		stop := make(chan struct{})
+		errc := make(chan error, 1)
+		go func() {
+			for {
+				select {
+				case <-stop:
+					errc <- nil
+					return
+				default:
+				}
+				for i := 0; i < 8; i++ {
+					if err := worker.SendBeat(1, 7, nil); err != nil {
+						errc <- err
+						return
+					}
+				}
+				if err := worker.Send(1, 9, result); err != nil {
+					errc <- err
+					return
+				}
+			}
+		}()
+		for b.Loop() {
+			if _, err := master.Recv(0, 9); err != nil {
+				b.Fatal(err)
+			}
+			for {
+				if _, ok, err := master.TryRecv(0, 7); err != nil {
+					b.Fatal(err)
+				} else if !ok {
+					break
+				}
+			}
+		}
+		close(stop)
+		// The worker may be blocked in a Send; keep pumping acks until it
+		// observes stop and exits.
+		for {
+			select {
+			case err := <-errc:
+				if err != nil {
+					b.Fatal(err)
+				}
+				return
+			default:
+				if _, _, err := master.TryRecv(0, 9); err != nil {
+					b.Fatal(err)
+				}
+				if _, _, err := master.TryRecv(0, 7); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	b.Run("coalesced", func(b *testing.B) { run(b, false) })
+	b.Run("legacy", func(b *testing.B) { run(b, true) })
 }
 
 func init() {

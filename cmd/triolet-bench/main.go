@@ -45,8 +45,11 @@ func main() {
 	farmDemo := flag.Bool("farm-demo", false, "demo the supervised farm lifecycle: checkpoint to a WAL, kill the master mid-job, resume, quarantine a poison task")
 	benchGate := flag.Bool("bench-gate", false, "run the fused-pipeline regression benchmarks")
 	jsonOut := flag.Bool("json", false, "with -bench-gate: emit results as JSON")
-	baseline := flag.String("baseline", "", "with -bench-gate: compare ratios against this baseline file and fail on >15% regression")
+	baseline := flag.String("baseline", "", "with -bench-gate: compare ratios against this baseline file and fail on >10% regression")
 	writeBaseline := flag.String("write-baseline", "", "with -bench-gate: write the measured ratios to this file")
+	msgGate := flag.Bool("msg-gate", false, "measure bytes/messages on the wire for fixed workloads")
+	msgBaseline := flag.String("msg-baseline", "", "with -msg-gate: compare against this baseline file and fail on >10% growth")
+	writeMsgBaseline := flag.String("write-msg-baseline", "", "with -msg-gate: write the measured wire footprint to this file")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file (any mode; pprof evidence for perf PRs)")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	flag.Parse()
@@ -66,6 +69,10 @@ func main() {
 
 	if *benchGate {
 		finish(runBenchGate(*jsonOut, *baseline, *writeBaseline))
+	}
+
+	if *msgGate {
+		finish(runMsgGate(*jsonOut, *msgBaseline, *writeMsgBaseline))
 	}
 
 	if *farmDemo {

@@ -1,0 +1,280 @@
+// Message-volume regression gate.
+//
+// The bench gate (benchgate.go) protects compute fast paths; this gate
+// protects the wire. It measures bytes and messages crossing the fabric for
+// a fixed set of workloads and compares them against a committed baseline
+// (MSG_BASELINE.json): a change that silently starts copying, re-wrapping,
+// or chattering on the wire shows up as a byte/message-count jump and fails
+// CI before it lands.
+//
+// Two kinds of cases:
+//
+//   - Application runs (sgemm, tpacf) on the virtual cluster in reliable
+//     mode with coalescing on. Their traffic is dominated by collective
+//     payloads that are already information-minimal, so these act as ratio
+//     tripwires: >10% growth in bytes or messages fails.
+//   - A synthetic farm-frames case that models a farm's control-plane
+//     traffic (many heartbeats, small task/result messages) on a 2-rank
+//     fabric, run twice — coalescing on vs off — and reports the reduction.
+//     This is where coalescing actually pays: the gate additionally fails
+//     if the coalesced run stops saving at least 25% of legacy bytes.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"triolet/internal/cluster"
+	"triolet/internal/mpi"
+	"triolet/internal/parboil/sgemm"
+	"triolet/internal/parboil/tpacf"
+	"triolet/internal/transport"
+)
+
+// msgResult is one case's wire footprint.
+type msgResult struct {
+	Name     string `json:"name"`
+	Bytes    int64  `json:"bytes"`
+	Messages int64  `json:"messages"`
+	// LegacyBytes/LegacyMessages are the same workload with coalescing
+	// disabled; zero for cases that only run coalesced.
+	LegacyBytes    int64 `json:"legacy_bytes,omitempty"`
+	LegacyMessages int64 `json:"legacy_messages,omitempty"`
+}
+
+// reductionPct reports how many percent of legacy bytes coalescing saved.
+func (r msgResult) reductionPct() float64 {
+	if r.LegacyBytes == 0 {
+		return 0
+	}
+	return 100 * (1 - float64(r.Bytes)/float64(r.LegacyBytes))
+}
+
+type msgReport struct {
+	Cases []msgResult `json:"cases"`
+}
+
+// msgReliable is the reliable-layer config for gate runs: lossless fabric,
+// generous ack timeout so no retransmission ever fires — the measured
+// traffic is the protocol's intrinsic footprint, not retry noise.
+func msgReliable() *mpi.ReliableConfig {
+	return &mpi.ReliableConfig{AckTimeout: time.Second}
+}
+
+// runAppCase measures one application workload on the virtual cluster.
+func runAppCase(name string, master func(s *cluster.Session) error) (msgResult, error) {
+	stats, err := cluster.Run(cluster.Config{
+		Nodes:        4,
+		CoresPerNode: 2,
+		Reliable:     msgReliable(),
+	}, master)
+	if err != nil {
+		return msgResult{}, fmt.Errorf("%s: %w", name, err)
+	}
+	return msgResult{Name: name, Bytes: stats.Bytes, Messages: stats.Messages}, nil
+}
+
+// farmFrames drives the synthetic farm control-plane workload on a 2-rank
+// fabric: 25 batches, each of 8 worker heartbeats followed by a small
+// task-result exchange. Count-based beat flushes keep the run deterministic
+// (no deadline ever expires), so byte counts are exact, not statistical.
+func farmFrames(disable bool) (transport.Stats, error) {
+	f := transport.New(transport.Config{Ranks: 2})
+	defer f.Close()
+	cfg := mpi.ReliableConfig{
+		AckTimeout:      time.Second,
+		CoalesceLimit:   8,
+		DisableCoalesce: disable,
+	}
+	worker := mpi.NewReliableComm(f, 0, cfg)
+	master := mpi.NewReliableComm(f, 1, cfg)
+
+	const (
+		batches       = 25
+		beatsPerBatch = 8
+		beatTag       = 7
+		taskTag       = 9
+	)
+	result := make([]byte, 24) // a farm result frame: task id + small payload
+	errc := make(chan error, 1)
+	go func() {
+		for b := 0; b < batches; b++ {
+			for i := 0; i < beatsPerBatch; i++ {
+				if err := worker.SendBeat(1, beatTag, nil); err != nil {
+					errc <- err
+					return
+				}
+			}
+			if err := worker.Send(1, taskTag, result); err != nil {
+				errc <- err
+				return
+			}
+		}
+		errc <- nil
+	}()
+	for b := 0; b < batches; b++ {
+		if _, err := master.Recv(0, taskTag); err != nil {
+			return transport.Stats{}, err
+		}
+		for {
+			if _, ok, err := master.TryRecv(0, beatTag); err != nil {
+				return transport.Stats{}, err
+			} else if !ok {
+				break
+			}
+		}
+	}
+	if err := <-errc; err != nil {
+		return transport.Stats{}, err
+	}
+	return f.Stats(), nil
+}
+
+// runMsgGate measures every case and, depending on flags, prints the
+// report, writes a baseline, or gates against one. Returns the exit code.
+func runMsgGate(jsonOut bool, baselinePath, writeBaselinePath string) int {
+	var report msgReport
+
+	sgemmIn := sgemm.Gen(96, 96, 96, 103)
+	r, err := runAppCase("sgemm", func(s *cluster.Session) error {
+		_, err := sgemm.Triolet(s, sgemmIn)
+		return err
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "msg-gate: %v\n", err)
+		return 1
+	}
+	report.Cases = append(report.Cases, r)
+
+	tpacfIn := tpacf.Gen(100, 12, 16, 107)
+	r, err = runAppCase("tpacf", func(s *cluster.Session) error {
+		_, err := tpacf.Triolet(s, tpacfIn)
+		return err
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "msg-gate: %v\n", err)
+		return 1
+	}
+	report.Cases = append(report.Cases, r)
+
+	coal, err := farmFrames(false)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "msg-gate: farm-frames: %v\n", err)
+		return 1
+	}
+	legacy, err := farmFrames(true)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "msg-gate: farm-frames legacy: %v\n", err)
+		return 1
+	}
+	report.Cases = append(report.Cases, msgResult{
+		Name:           "farm-frames",
+		Bytes:          coal.Bytes,
+		Messages:       coal.Messages,
+		LegacyBytes:    legacy.Bytes,
+		LegacyMessages: legacy.Messages,
+	})
+
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+	} else {
+		fmt.Printf("%-12s %12s %10s %14s %14s %10s\n",
+			"case", "bytes", "messages", "legacy bytes", "legacy msgs", "saved")
+		for _, c := range report.Cases {
+			saved := "-"
+			if c.LegacyBytes > 0 {
+				saved = fmt.Sprintf("%.1f%%", c.reductionPct())
+			}
+			lb, lm := "-", "-"
+			if c.LegacyBytes > 0 {
+				lb = fmt.Sprint(c.LegacyBytes)
+				lm = fmt.Sprint(c.LegacyMessages)
+			}
+			fmt.Printf("%-12s %12d %10d %14s %14s %10s\n",
+				c.Name, c.Bytes, c.Messages, lb, lm, saved)
+		}
+	}
+
+	// The coalescing-win criterion holds regardless of baseline: the farm
+	// control-plane case must keep saving at least 25% of legacy bytes.
+	exit := 0
+	for _, c := range report.Cases {
+		if c.LegacyBytes == 0 {
+			continue
+		}
+		if pct := c.reductionPct(); pct < 25 {
+			fmt.Fprintf(os.Stderr, "msg-gate: FAIL %s: coalescing saves only %.1f%% of legacy bytes, want >= 25%%\n",
+				c.Name, pct)
+			exit = 1
+		} else {
+			fmt.Fprintf(os.Stderr, "msg-gate: ok %s: coalescing saves %.1f%% of legacy bytes (%d -> %d)\n",
+				c.Name, pct, c.LegacyBytes, c.Bytes)
+		}
+	}
+
+	if writeBaselinePath != "" {
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err == nil {
+			err = os.WriteFile(writeBaselinePath, append(data, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "msg-gate: wrote baseline to %s\n", writeBaselinePath)
+		return exit
+	}
+
+	if baselinePath == "" {
+		return exit
+	}
+	data, err := os.ReadFile(baselinePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "msg-gate: %v\n", err)
+		return 1
+	}
+	var base msgReport
+	if err := json.Unmarshal(data, &base); err != nil {
+		fmt.Fprintf(os.Stderr, "msg-gate: parse %s: %v\n", baselinePath, err)
+		return 1
+	}
+	baseCase := map[string]msgResult{}
+	for _, c := range base.Cases {
+		baseCase[c.Name] = c
+	}
+
+	// Fail on >10% growth in bytes or messages. The workloads are fixed
+	// and the fabric lossless, so the footprint is near-deterministic;
+	// the margin absorbs only ack-batching jitter from goroutine
+	// scheduling (tens of bytes against megabyte payloads).
+	const slack = 1.10
+	for _, c := range report.Cases {
+		b, ok := baseCase[c.Name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "msg-gate: %s missing from baseline (add it with -write-msg-baseline)\n", c.Name)
+			exit = 1
+			continue
+		}
+		check := func(metric string, got, base int64) {
+			allowed := int64(float64(base) * slack)
+			if got > allowed {
+				fmt.Fprintf(os.Stderr, "msg-gate: FAIL %s: %s %d exceeds allowed %d (baseline %d)\n",
+					c.Name, metric, got, allowed, base)
+				exit = 1
+			} else {
+				fmt.Fprintf(os.Stderr, "msg-gate: ok %s: %s %d (baseline %d, allowed %d)\n",
+					c.Name, metric, got, base, allowed)
+			}
+		}
+		check("bytes", c.Bytes, b.Bytes)
+		check("messages", c.Messages, b.Messages)
+	}
+	return exit
+}

@@ -62,6 +62,10 @@ type Config struct {
 	// FarmOptions.HeartbeatTimeout). Both sides read this config under
 	// the SPMD assumption that every node runs the same binary.
 	FarmHeartbeat time.Duration
+	// Clock, when non-nil, replaces the fabric's time source (see
+	// transport.Clock). The reliable layer's retry backoff and coalesce
+	// deadlines read it, so tests can drive flush timing deterministically.
+	Clock transport.Clock
 }
 
 // TotalCores reports Nodes × CoresPerNode.
@@ -226,6 +230,7 @@ func RunCtx(ctx context.Context, cfg Config, master func(s *Session) error) (tra
 		MaxMessageBytes: cfg.MaxMessageBytes,
 		Delay:           cfg.NetDelay,
 		Fault:           cfg.Fault,
+		Clock:           cfg.Clock,
 	})
 	defer fabric.Close()
 

@@ -130,7 +130,11 @@ func farmWorker(n *Node, fn FarmFn) error {
 			case <-stop:
 				return
 			case <-tick.C:
-				if err := n.Comm.Send(0, farmBeatTag, nil); err != nil {
+				// Beats are idempotent liveness signals: the master only
+				// cares that they keep arriving, so they ride the unacked
+				// coalesced path instead of costing a framed send plus an
+				// ack each (see mpi.Comm.SendBeat).
+				if err := n.Comm.SendBeat(0, farmBeatTag, nil); err != nil {
 					return // master unreachable: the task loop will find out
 				}
 			}

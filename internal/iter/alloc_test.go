@@ -6,9 +6,16 @@
 
 package iter
 
-import "testing"
+import (
+	"runtime"
+	"testing"
+
+	"triolet/internal/domain"
+)
 
 var allocSink int64
+
+var allocSinkF float64
 
 // TestSumSliceBackedZeroAllocs: summing a slice-backed iterator must range
 // over the backing array directly — zero allocations, not even a buffer.
@@ -23,6 +30,111 @@ func TestSumSliceBackedZeroAllocs(t *testing.T) {
 	}
 	if n := testing.AllocsPerRun(100, func() { allocSink = int64(Count(it)) }); n != 0 {
 		t.Fatalf("Count over slice-backed iterator allocated %.1f per run, want 0", n)
+	}
+}
+
+// TestReduceSliceBackedZeroAllocs: a generic Reduce over a slice-backed
+// iterator folds the backing array directly — zero allocations.
+func TestReduceSliceBackedZeroAllocs(t *testing.T) {
+	xs := make([]int64, 1<<14)
+	for i := range xs {
+		xs[i] = int64(i % 257)
+	}
+	it := FromSlice(xs)
+	w := func(a, v int64) int64 { return a + v }
+	if n := testing.AllocsPerRun(100, func() { allocSink = Reduce(it, int64(0), w) }); n != 0 {
+		t.Fatalf("Reduce over slice-backed iterator allocated %.1f per run, want 0", n)
+	}
+}
+
+// TestFusedReductionZeroAllocs: the fused kernels (fuse.go) reduce zipWith
+// and zip-map pipelines straight off the source arrays — the kernel is
+// built once at pipeline construction, so steady-state traversals allocate
+// nothing: no staging buffer, no per-traversal kernel generation.
+func TestFusedReductionZeroAllocs(t *testing.T) {
+	a := make([]float64, 1<<13)
+	b := make([]float64, 1<<13)
+	for i := range a {
+		a[i] = float64(i%911) * 0.5
+		b[i] = float64(i%613) * 0.25
+	}
+
+	zw := ZipWith(func(x, y float64) float64 { return x * y }, FromSlice(a), FromSlice(b))
+	if n := testing.AllocsPerRun(100, func() { allocSinkF = Sum(zw) }); n != 0 {
+		t.Fatalf("zipwith-sum allocated %.1f per run, want 0 (fused kernel)", n)
+	}
+
+	// The Pair-constructing dot-product route: Zip then Map. The pair is
+	// built inline inside the fused kernel and never touches memory.
+	dp := Map(func(p Pair[float64, float64]) float64 { return p.Fst * p.Snd },
+		Zip(FromSlice(a), FromSlice(b)))
+	if n := testing.AllocsPerRun(100, func() { allocSinkF = Sum(dp) }); n != 0 {
+		t.Fatalf("dot-product allocated %.1f per run, want 0 (fused pair kernel)", n)
+	}
+
+	// Fusion survives parallel-split restriction: a Split slice of the
+	// pipeline reduces with the rebased kernel, still zero allocations.
+	half := Split(zw, domain.Range{Lo: len(a) / 2, Hi: len(a)})
+	if n := testing.AllocsPerRun(100, func() { allocSinkF = Sum(half) }); n != 0 {
+		t.Fatalf("split zipwith-sum allocated %.1f per run, want 0 (rebased fused kernel)", n)
+	}
+}
+
+// concatMapSumAllocs measures per-traversal allocations of a concatMap nest
+// with block-driven inner pipelines of the given length.
+func concatMapSumAllocs(inner int) float64 {
+	const outer = 64
+	xs := make([]int64, outer)
+	for i := range xs {
+		xs[i] = int64(i)
+	}
+	it := ConcatMap(func(v int64) Iter[int64] {
+		return Map(func(j int) int64 { return v + int64(j) }, Range(inner))
+	}, FromSlice(xs))
+	return testing.AllocsPerRun(20, func() { allocSink = Sum(it) })
+}
+
+// TestConcatMapAllocsInnerSizeIndependent: summing a nest costs a constant
+// number of allocations per outer element (the inner iterator's closures)
+// plus one shared arena — the count must not grow with inner length, which
+// it would if each inner traversal allocated its own staging buffer.
+func TestConcatMapAllocsInnerSizeIndependent(t *testing.T) {
+	small := concatMapSumAllocs(blockMin * 2)
+	large := concatMapSumAllocs(blockMin * 32)
+	if small != large {
+		t.Fatalf("concatMap Sum allocations scale with inner length: %.1f at %d vs %.1f at %d",
+			small, blockMin*2, large, blockMin*32)
+	}
+}
+
+// TestConcatMapArenaReuse: the nest's staging arena is allocated once per
+// traversal and shared by every inner iterator. Without it each of the
+// outer elements would allocate its own BlockSize staging buffer — outer x
+// BlockSize x 8 bytes per traversal; with it the byte volume must stay well
+// under one buffer per outer element. The inner pipeline is a bare Range
+// whose kernel writes the staging buffer directly, so the measurement
+// isolates the consumer-side buffer the arena owns (a type-changing map
+// kernel would add its own per-traversal scratch on top).
+func TestConcatMapArenaReuse(t *testing.T) {
+	const outer = 128
+	const inner = 512 // > BlockSize so inner loops stage through full blocks
+	xs := make([]int, outer)
+	it := ConcatMap(func(v int) Iter[int] { return Range(inner) }, FromSlice(xs))
+	allocSink = int64(Sum(it)) // warm up lazily-initialized runtime state
+
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	const runs = 10
+	for i := 0; i < runs; i++ {
+		allocSink = int64(Sum(it))
+	}
+	runtime.ReadMemStats(&after)
+	perRun := float64(after.TotalAlloc-before.TotalAlloc) / runs
+	limit := float64(outer) * BlockSize * 8 / 4
+	if perRun > limit {
+		t.Fatalf("concatMap Sum allocates %.0f bytes per traversal, want < %.0f (shared arena, not a buffer per outer element)",
+			perRun, limit)
 	}
 }
 

@@ -70,6 +70,18 @@ type idxFast[T any] struct {
 	// and no per-stage block handoff.
 	mapSrc []T
 	mapFns []func(T) T
+
+	// Fused-reduction representation (see fuse.go). red, when non-nil, is a
+	// func(T, int, int) T that folds elements [lo, hi) into an accumulator
+	// with straight-line loads from the pipeline's source arrays — no staging
+	// buffer, no per-block handoff. mkRed, when non-nil, builds the same
+	// kernel for a mapped view of this producer: given g (a func(T) R for a
+	// numeric R), it returns a func(R, int, int) R reducing g(At(i)), or nil
+	// when R is outside the fused numeric set. Both are type-erased because
+	// a generic constructor cannot name the element types of stages built
+	// later; construction sites recover them with dynamic type switches.
+	red   any
+	mkRed func(f any) any
 }
 
 // fidxFast boxes a partial indexer's fast paths; see idxFast.
@@ -152,6 +164,32 @@ func blockLen(n int) int {
 func sumSliceFrom[T Number](acc T, xs []T) T {
 	for _, v := range xs {
 		acc += v
+	}
+	return acc
+}
+
+// sumChain folds a map chain in one pass over its source array, specialized
+// for the common one- and two-stage chains; the fold order matches the
+// per-element driver's so float sums stay bit-identical.
+func sumChain[T Number](acc T, src []T, fns []func(T) T) T {
+	switch len(fns) {
+	case 1:
+		f0 := fns[0]
+		for _, v := range src {
+			acc += f0(v)
+		}
+	case 2:
+		f0, f1 := fns[0], fns[1]
+		for _, v := range src {
+			acc += f1(f0(v))
+		}
+	default:
+		for _, v := range src {
+			for _, f := range fns {
+				v = f(v)
+			}
+			acc += v
+		}
 	}
 	return acc
 }

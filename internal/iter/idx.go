@@ -69,8 +69,30 @@ func IdxRange(n int) Idx[int] {
 // MapIdx builds the indexer whose lookup applies f after ix's lookup —
 // straight-line code, so composition fuses (paper §3.1 "Indexers"). Over a
 // slice-backed or block-capable input the composition is a block kernel:
-// one call to f per element, no wrapper-closure chain.
+// one call to f per element, no wrapper-closure chain. When the source
+// carries a fused-reduction builder (slice-backed or a zip of slices), the
+// result additionally carries a fused Sum kernel and its own builder for
+// further map stages (see fuse.go).
 func MapIdx[T, U any](f func(T) U, ix Idx[T]) Idx[U] {
+	out := mapIdxBase(f, ix)
+	// Fusion attaches only to sources worth block-driving: below blockMin
+	// the extra closures would be dead weight on ConcatMap's per-element
+	// inner pipelines.
+	if ix.fast != nil && ix.N >= blockMin {
+		if srcMk := sourceMkRed(ix.fast); srcMk != nil {
+			if out.fast == nil {
+				out.fast = &idxFast[U]{}
+			}
+			out.fast.red = srcMk(any(f))
+			out.fast.mkRed = func(g any) any { return composeMkRed(srcMk, f, g) }
+		}
+	}
+	return out
+}
+
+// mapIdxBase is MapIdx minus the fused-reduction attachment: it builds the
+// lookup and the staged block kernels.
+func mapIdxBase[T, U any](f func(T) U, ix Idx[T]) Idx[U] {
 	// Capture ix.At alone, not ix: the closure then holds two words instead
 	// of the whole Idx struct, which matters when ConcatMap constructs one of
 	// these per outer element.
@@ -168,6 +190,11 @@ func ZipIdx[A, B any](a Idx[A], b Idx[B]) Idx[Pair[A, B]] {
 				}
 			}
 		}}
+		if out.N >= blockMin {
+			// A map over this zip reduces with pairs built inline from both
+			// backing arrays — the fused dot-product shape.
+			out.fast.mkRed = func(g any) any { return pairRed(g, xa, xb) }
+		}
 		return out
 	}
 	ra, rb := a.reader(), b.reader()
@@ -209,6 +236,12 @@ func ZipWithIdx[A, B, C any](f func(A, B) C, a Idx[A], b Idx[B]) Idx[C] {
 				}
 			}
 		}}
+		if out.N >= blockMin {
+			// Numeric results reduce straight off both backing arrays; a
+			// following map stage composes into the same kernel shape.
+			out.fast.red = zipRed(f, xa, xb)
+			out.fast.mkRed = func(g any) any { return zipMapRed(g, f, xa, xb) }
+		}
 		return out
 	}
 	ra, rb := a.reader(), b.reader()
@@ -259,6 +292,25 @@ func SliceIdx[T any](ix Idx[T], lo, hi int) Idx[T] {
 			read := gen()
 			return func(dst []T, base int) { read(dst, base+lo) }
 		}}
+	}
+	// Fused kernels survive restriction by index offset, so per-task
+	// traversals of a parallel split reduce with the same fused loops as
+	// the sequential whole.
+	if ix.fast != nil && (ix.fast.red != nil || ix.fast.mkRed != nil) {
+		if out.fast == nil {
+			out.fast = &idxFast[T]{}
+		}
+		if ix.fast.red != nil {
+			out.fast.red = rebaseRed(ix.fast.red, lo)
+		}
+		if mk := ix.fast.mkRed; mk != nil {
+			out.fast.mkRed = func(g any) any {
+				if r := mk(g); r != nil {
+					return rebaseRed(r, lo)
+				}
+				return nil
+			}
+		}
 	}
 	return out
 }

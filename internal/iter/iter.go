@@ -599,26 +599,12 @@ func sumFrom[T Number](acc T, it Iter[T]) T {
 				// Map chain: one pass over the source, one indirect call per
 				// user function per element — the raw-loop shape up to those
 				// calls, with no buffer at all.
-				switch len(mapFns) {
-				case 1:
-					f0 := mapFns[0]
-					for _, v := range mapSrc {
-						acc += f0(v)
-					}
-				case 2:
-					f0, f1 := mapFns[0], mapFns[1]
-					for _, v := range mapSrc {
-						acc += f1(f0(v))
-					}
-				default:
-					for _, v := range mapSrc {
-						for _, f := range mapFns {
-							v = f(v)
-						}
-						acc += v
-					}
-				}
-				return acc
+				return sumChain(acc, mapSrc, mapFns)
+			}
+			if r := redOf(ix); r != nil {
+				// Fused reduction kernel (fuse.go): fold straight off the
+				// pipeline's source arrays, no staging buffer at all.
+				return r(acc, 0, ix.N)
 			}
 			if gen := ix.fillGen(); gen != nil && ix.N >= blockMin {
 				g := gen()
@@ -660,12 +646,88 @@ func sumFrom[T Number](acc T, it Iter[T]) T {
 				return acc
 			}
 		case KIdxNest:
+			// The whole nest shares one scratch arena: block-driven inner
+			// pipelines stage through it instead of allocating a buffer per
+			// outer element (the dominant cost of deep concatMap nests).
 			inner := it.idxN
+			var arena []T
 			for i := 0; i < inner.N; i++ {
-				acc = sumFrom(acc, inner.At(i))
+				acc = sumInner(acc, inner.At(i), &arena)
 			}
 			return acc
 		}
+	}
+	return Reduce(it, acc, func(a, v T) T { return a + v })
+}
+
+// sumInner is sumFrom for the inner iterators of a nest. It differs in two
+// ways tuned to loops that run once per outer element: staging buffers come
+// from the caller's arena (allocated once per nest, grown to the largest
+// inner block), and the short-iterator fallback is an inline At loop rather
+// than the Reduce/FoldIdx dispatch — the closure those build per call costs
+// more than a handful of elements' worth of work. Fold order matches
+// sumFrom exactly, keeping results bit-identical across drivers.
+func sumInner[T Number](acc T, it Iter[T], arena *[]T) T {
+	switch it.kind {
+	case KIdxFlat:
+		ix := it.idx
+		if back := ix.backing(); back != nil {
+			return sumSliceFrom(acc, back)
+		}
+		if mapSrc, mapFns := ix.chain(); mapSrc != nil {
+			return sumChain(acc, mapSrc, mapFns)
+		}
+		if r := redOf(ix); r != nil {
+			return r(acc, 0, ix.N)
+		}
+		if gen := ix.fillGen(); gen != nil && ix.N >= blockMin {
+			g := gen()
+			buf := ensure(arena, blockLen(ix.N))
+			for base := 0; base < ix.N; base += BlockSize {
+				end := base + BlockSize
+				if end > ix.N {
+					end = ix.N
+				}
+				b := buf[:end-base]
+				g(b, base)
+				acc = sumSliceFrom(acc, b)
+			}
+			return acc
+		}
+		at := ix.At
+		for i := 0; i < ix.N; i++ {
+			acc += at(i)
+		}
+		return acc
+	case KIdxFilter:
+		fx := it.fidx
+		if back, pred := fx.filterView(); back != nil {
+			for _, v := range back {
+				if pred(v) {
+					acc += v
+				}
+			}
+			return acc
+		}
+		if gen := fx.cfill(); gen != nil && fx.N >= blockMin {
+			g := gen()
+			buf := ensure(arena, blockLen(fx.N))
+			for base := 0; base < fx.N; base += BlockSize {
+				end := base + BlockSize
+				if end > fx.N {
+					end = fx.N
+				}
+				k := g(buf[:end-base], base, end-base)
+				acc = sumSliceFrom(acc, buf[:k])
+			}
+			return acc
+		}
+	case KIdxNest:
+		inner := it.idxN
+		for i := 0; i < inner.N; i++ {
+			acc = sumInner(acc, inner.At(i), arena)
+		}
+		return acc
 	}
 	return Reduce(it, acc, func(a, v T) T { return a + v })
 }

@@ -1,0 +1,303 @@
+package mpi
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"triolet/internal/serial"
+	"triolet/internal/transport"
+)
+
+// TestBeatBatchingByCount: beats buffer until CoalesceLimit, then the whole
+// batch ships as one coalesced frame — CoalesceLimit beats cost one wire
+// message instead of CoalesceLimit framed sends plus acks.
+func TestBeatBatchingByCount(t *testing.T) {
+	f := transport.New(transport.Config{Ranks: 2})
+	defer f.Close()
+	a := NewReliableComm(f, 0, ReliableConfig{CoalesceLimit: 4})
+	b := NewReliableComm(f, 1, ReliableConfig{})
+
+	before := f.Stats().Messages
+	for i := 0; i < 4; i++ {
+		if err := a.SendBeat(1, 7, []byte{byte(i)}); err != nil {
+			t.Fatalf("beat %d: %v", i, err)
+		}
+	}
+	if got := f.Stats().Messages - before; got != 1 {
+		t.Fatalf("4 beats crossed the wire in %d messages, want 1 coalesced frame", got)
+	}
+	for i := 0; i < 4; i++ {
+		m, ok, err := b.TryRecv(0, 7)
+		if err != nil || !ok {
+			t.Fatalf("beat %d not delivered: ok=%v err=%v", i, ok, err)
+		}
+		if len(m.Payload) != 1 || m.Payload[0] != byte(i) {
+			t.Fatalf("beat %d payload %v", i, m.Payload)
+		}
+	}
+	st := a.ReliableStats()
+	if st.BeatsSent != 4 || st.CoalescedFrames != 1 {
+		t.Fatalf("stats BeatsSent=%d CoalescedFrames=%d, want 4 and 1", st.BeatsSent, st.CoalescedFrames)
+	}
+}
+
+// TestBeatDeadlineFlush: a partial batch waits, then a pump after the
+// fabric-clock deadline flushes it — beats are delayed at most
+// CoalesceDelay, driven entirely by the injectable clock.
+func TestBeatDeadlineFlush(t *testing.T) {
+	clk := newFakeClock()
+	f := transport.New(transport.Config{Ranks: 2, Clock: clk})
+	defer f.Close()
+	a := NewReliableComm(f, 0, ReliableConfig{CoalesceDelay: 10 * time.Millisecond})
+	b := NewReliableComm(f, 1, ReliableConfig{})
+
+	if err := a.SendBeat(1, 7, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.SendBeat(1, 7, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := b.TryRecv(0, 7); ok {
+		t.Fatal("partial beat batch flushed before its deadline")
+	}
+	clk.Advance(11 * time.Millisecond)
+	// Any pump on the sender notices the expired deadline; TryRecv pumps.
+	if _, _, err := a.TryRecv(1, 9); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, ok, err := b.TryRecv(0, 7); err != nil || !ok {
+			t.Fatalf("beat %d not delivered after deadline flush: ok=%v err=%v", i, ok, err)
+		}
+	}
+	if st := a.ReliableStats(); st.BeatsSent != 2 || st.CoalescedFrames != 1 {
+		t.Fatalf("stats BeatsSent=%d CoalescedFrames=%d, want 2 and 1", st.BeatsSent, st.CoalescedFrames)
+	}
+}
+
+// TestBeatPiggybackOnData: pending beats ride for free on the next data
+// frame to the same peer — no separate beat frame crosses the wire.
+func TestBeatPiggybackOnData(t *testing.T) {
+	f := transport.New(transport.Config{Ranks: 2})
+	defer f.Close()
+	a := NewReliableComm(f, 0, ReliableConfig{})
+	b := NewReliableComm(f, 1, ReliableConfig{})
+
+	for i := 0; i < 3; i++ {
+		if err := a.SendBeat(1, 7, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	done := make(chan error, 1)
+	go func() { done <- a.Send(1, 9, []byte("payload")) }()
+	m, err := b.Recv(0, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(m.Payload) != "payload" {
+		t.Fatalf("data payload %q", m.Payload)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, ok, err := b.TryRecv(0, 7); err != nil || !ok {
+			t.Fatalf("piggybacked beat %d not delivered: ok=%v err=%v", i, ok, err)
+		}
+	}
+	st := a.ReliableStats()
+	if st.BeatsSent != 3 || st.CoalescedFrames < 1 {
+		t.Fatalf("stats BeatsSent=%d CoalescedFrames=%d, want 3 beats in >=1 coalesced frame",
+			st.BeatsSent, st.CoalescedFrames)
+	}
+}
+
+// TestAckBatchingWireFormat: two data frames drained by one pump produce a
+// single coalesced acknowledgement frame carrying both seqs — white-box
+// check of the kindCoal/subAck wire layout via a raw endpoint peer.
+func TestAckBatchingWireFormat(t *testing.T) {
+	f := transport.New(transport.Config{Ranks: 2})
+	defer f.Close()
+	raw := f.Endpoint(0) // rank 0 speaks raw frames, no reliable layer
+	b := NewReliableComm(f, 1, ReliableConfig{})
+
+	if err := raw.Send(1, tagRelData, encodeData(0, 9, []byte("x"))); err != nil {
+		t.Fatal(err)
+	}
+	if err := raw.Send(1, tagRelData, encodeData(1, 9, []byte("y"))); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, ok, err := b.TryRecv(0, 9); err != nil || !ok {
+			t.Fatalf("data %d not delivered: ok=%v err=%v", i, ok, err)
+		}
+	}
+	m, ok, err := raw.TryRecv(1, tagRelAck)
+	if err != nil || !ok {
+		t.Fatalf("no ack frame: ok=%v err=%v", ok, err)
+	}
+	body, valid := serial.VerifyCRC(m.Payload)
+	if !valid {
+		t.Fatal("ack frame CRC invalid")
+	}
+	br := serial.NewReader(body)
+	if kind := br.U8(); kind != kindCoal {
+		t.Fatalf("ack frame kind 0x%02X, want kindCoal", kind)
+	}
+	subs, ok := decodeCoal(br)
+	if !ok || len(subs) != 1 || subs[0].kind != subAck {
+		t.Fatalf("coalesced frame decode: ok=%v subs=%+v, want one subAck", ok, subs)
+	}
+	if len(subs[0].seqs) != 2 || subs[0].seqs[0] != 0 || subs[0].seqs[1] != 1 {
+		t.Fatalf("batched ack seqs %v, want [0 1]", subs[0].seqs)
+	}
+	if _, ok, _ := raw.TryRecv(1, tagRelAck); ok {
+		t.Fatal("second ack frame on the wire; both acks should share one")
+	}
+}
+
+// TestSingleAckKeepsLegacyFrame: one data frame still gets the compact
+// legacy kindAck frame — a coalesced container would be strictly larger.
+func TestSingleAckKeepsLegacyFrame(t *testing.T) {
+	f := transport.New(transport.Config{Ranks: 2})
+	defer f.Close()
+	raw := f.Endpoint(0)
+	b := NewReliableComm(f, 1, ReliableConfig{})
+
+	if err := raw.Send(1, tagRelData, encodeData(0, 9, []byte("x"))); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := b.TryRecv(0, 9); err != nil || !ok {
+		t.Fatalf("data not delivered: ok=%v err=%v", ok, err)
+	}
+	m, ok, err := raw.TryRecv(1, tagRelAck)
+	if err != nil || !ok {
+		t.Fatalf("no ack frame: ok=%v err=%v", ok, err)
+	}
+	if !bytes.Equal(m.Payload, encodeAck(0)) {
+		t.Fatalf("single ack frame %x, want legacy %x", m.Payload, encodeAck(0))
+	}
+	if st := b.ReliableStats(); st.CoalescedFrames != 0 {
+		t.Fatalf("CoalescedFrames=%d for a single ack, want 0", st.CoalescedFrames)
+	}
+}
+
+// TestDisableCoalesceLegacyShape: with coalescing off every ack is its own
+// legacy frame, beats become acknowledged sends, and no coalesced frame is
+// ever emitted — the wire shape the message-volume gate compares against.
+func TestDisableCoalesceLegacyShape(t *testing.T) {
+	f := transport.New(transport.Config{Ranks: 2})
+	defer f.Close()
+	cfg := ReliableConfig{DisableCoalesce: true}
+	a := NewReliableComm(f, 0, cfg)
+	b := NewReliableComm(f, 1, cfg)
+
+	before := f.Stats().Messages
+	// A legacy beat is a blocking acked send, so the sender needs a
+	// concurrently pumping receiver.
+	done := make(chan error, 1)
+	go func() {
+		for i := 0; i < 3; i++ {
+			if err := a.SendBeat(1, 7, nil); err != nil {
+				done <- err
+				return
+			}
+		}
+		done <- nil
+	}()
+	for i := 0; i < 3; i++ {
+		if _, err := b.Recv(0, 7); err != nil {
+			t.Fatalf("legacy beat %d not delivered: %v", i, err)
+		}
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	// Each beat is a full acknowledged send: one data frame plus one ack.
+	if got := f.Stats().Messages - before; got != 6 {
+		t.Fatalf("3 legacy beats crossed the wire in %d messages, want 6 (frame+ack each)", got)
+	}
+	sa, sb := a.ReliableStats(), b.ReliableStats()
+	if sa.CoalescedFrames != 0 || sb.CoalescedFrames != 0 {
+		t.Fatalf("CoalescedFrames nonzero with coalescing disabled: %d/%d",
+			sa.CoalescedFrames, sb.CoalescedFrames)
+	}
+}
+
+// TestSharedRawPayloadSurvivesCorruptFaults: the end-to-end zero-copy chaos
+// case. A float64 array is encoded with serial.Raw (aliasing its backing
+// store), shipped via SendShared over a fabric injecting bit corruption,
+// and decoded on the far side. The CRC must catch every injected flip
+// (retransmits repair it), the received values must be bit-identical, and
+// the sender's array must come through unmutated — corruption happens to a
+// copy, never to the aliased buffer.
+func TestSharedRawPayloadSurvivesCorruptFaults(t *testing.T) {
+	f := transport.New(transport.Config{
+		Ranks: 2,
+		Fault: &transport.FaultConfig{Seed: 42, Default: transport.FaultProbs{Corrupt: 0.3}},
+	})
+	defer f.Close()
+	cfg := ReliableConfig{AckTimeout: time.Millisecond, Retries: 100}
+	a := NewReliableComm(f, 0, cfg)
+	b := NewReliableComm(f, 1, cfg)
+
+	xs := make([]float64, 512)
+	for i := range xs {
+		xs[i] = float64(i) * 1.25
+	}
+	want := append([]float64(nil), xs...)
+
+	const rounds = 20
+	done := make(chan error, 1)
+	go func() {
+		for i := 0; i < rounds; i++ {
+			if err := a.SendShared(1, 7, serial.Raw(xs)); err != nil {
+				done <- err
+				return
+			}
+		}
+		done <- nil
+	}()
+	for i := 0; i < rounds; i++ {
+		m, err := b.Recv(0, 7)
+		if err != nil {
+			t.Fatalf("recv %d: %v", i, err)
+		}
+		got, err := serial.RawCopy[float64](m.Payload)
+		if err != nil {
+			t.Fatalf("decode %d: %v", i, err)
+		}
+		for j := range want {
+			if got[j] != want[j] {
+				t.Fatalf("round %d element %d: %v, want %v (corruption leaked past the CRC)",
+					i, j, got[j], want[j])
+			}
+		}
+	}
+	// Keep pumping until the sender finishes: its last ack may have been
+	// corrupted, in which case only our pump re-acks the retransmit.
+	for {
+		var err error
+		select {
+		case err = <-done:
+		default:
+			_, _, err = b.TryRecv(0, 7)
+			if err == nil {
+				continue
+			}
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		break
+	}
+	for j := range want {
+		if xs[j] != want[j] {
+			t.Fatalf("sender's aliased array mutated at %d: %v, want %v", j, xs[j], want[j])
+		}
+	}
+	if st := b.ReliableStats(); st.CorruptDropped == 0 {
+		t.Fatal("no frames were corrupt-dropped; the chaos case did not exercise the CRC")
+	}
+}

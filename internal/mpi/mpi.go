@@ -82,12 +82,27 @@ func (c *Comm) Context() context.Context {
 // reliable mode is on.
 func (c *Comm) send(ctx context.Context, dst, tag int, payload []byte) error {
 	if c.rel != nil {
-		return c.rel.send(ctx, dst, tag, payload)
+		return c.rel.send(ctx, dst, tag, payload, false)
 	}
 	if err := ctx.Err(); err != nil {
 		return err
 	}
 	return c.ep.Send(dst, tag, payload)
+}
+
+// sendShared is send for a payload the caller has relinquished: the fabric
+// skips its defensive copy (see transport.Fabric.SendShared) and reliable
+// local delivery skips its own. The caller must not mutate payload after
+// the call; in direct mode the receiver aliases it and must treat it as
+// read-only.
+func (c *Comm) sendShared(ctx context.Context, dst, tag int, payload []byte) error {
+	if c.rel != nil {
+		return c.rel.send(ctx, dst, tag, payload, true)
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return c.ep.SendShared(dst, tag, payload)
 }
 
 // recvMsg is the matching internal receive.
@@ -127,6 +142,38 @@ func (c *Comm) SendCtx(ctx context.Context, dst, tag int, payload []byte) error 
 		ctx = context.Background()
 	}
 	return c.send(ctx, dst, tag, payload)
+}
+
+// SendShared delivers payload to dst by reference: the zero-copy path for
+// buffers the sender will never touch again (serial.Raw views of backing
+// arrays, freshly marshalled codec output). Traffic is metered exactly
+// like Send. The caller must not mutate payload after the call; in direct
+// mode the receiver aliases the sender's buffer and must treat it as
+// read-only.
+func (c *Comm) SendShared(dst, tag int, payload []byte) error {
+	if tag < 0 || tag > MaxUserTag {
+		return fmt.Errorf("mpi: user tag %d out of range", tag)
+	}
+	return c.sendShared(c.Context(), dst, tag, payload)
+}
+
+// SendBeat delivers a fire-and-forget signal to dst. In reliable mode
+// beats skip the ack/retry machinery and batch into coalesced frames,
+// flushed when the batch fills (CoalesceLimit), when its fabric-clock
+// deadline expires (CoalesceDelay), or by piggybacking on the next data
+// frame to the same peer — so a 1ms heartbeat no longer costs a framed
+// send plus an ack per beat. The price is every delivery guarantee: beats
+// may be lost, duplicated, delayed, or overtake sequenced data. Use them
+// only for idempotent signals whose loss the receiver already tolerates.
+// In direct mode a beat is an ordinary send.
+func (c *Comm) SendBeat(dst, tag int, payload []byte) error {
+	if tag < 0 || tag > MaxUserTag {
+		return fmt.Errorf("mpi: user tag %d out of range", tag)
+	}
+	if c.rel != nil {
+		return c.rel.sendBeat(dst, tag, payload)
+	}
+	return c.ep.Send(dst, tag, payload)
 }
 
 // Recv blocks for a message matching (src, tag); src may be
@@ -170,7 +217,7 @@ func (c *Comm) Barrier() error {
 	if err := c.treeGatherSignal(ctx, tag); err != nil {
 		return fmt.Errorf("mpi: barrier gather: %w", err)
 	}
-	if _, err := c.treeBcast(ctx, tag, nil); err != nil {
+	if _, err := c.treeBcast(ctx, tag, nil, false); err != nil {
 		return fmt.Errorf("mpi: barrier release: %w", err)
 	}
 	return nil
@@ -197,7 +244,11 @@ func (c *Comm) treeGatherSignal(ctx context.Context, tag int) error {
 // ignore their data argument and return the received payload. A rank's
 // parent is rank minus its lowest set bit; after receiving it forwards to
 // rank+mask for each mask below that bit — the classic binomial broadcast.
-func (c *Comm) treeBcast(ctx context.Context, tag int, data []byte) ([]byte, error) {
+//
+// shared marks root's data as relinquished (see SendShared); forwarded
+// payloads are always shared — a rank that just received them never
+// mutates them, it only reads and re-sends.
+func (c *Comm) treeBcast(ctx context.Context, tag int, data []byte, shared bool) ([]byte, error) {
 	rank, size := c.Rank(), c.Size()
 	mask := 1
 	for mask < size {
@@ -207,13 +258,20 @@ func (c *Comm) treeBcast(ctx context.Context, tag int, data []byte) ([]byte, err
 				return nil, err
 			}
 			data = m.Payload
+			shared = true
 			break
 		}
 		mask <<= 1
 	}
 	for mask >>= 1; mask > 0; mask >>= 1 {
 		if peer := rank + mask; peer < size {
-			if err := c.send(ctx, peer, tag, data); err != nil {
+			var err error
+			if shared {
+				err = c.sendShared(ctx, peer, tag, data)
+			} else {
+				err = c.send(ctx, peer, tag, data)
+			}
+			if err != nil {
 				return nil, err
 			}
 		}
@@ -224,13 +282,26 @@ func (c *Comm) treeBcast(ctx context.Context, tag int, data []byte) ([]byte, err
 // Bcast distributes root's payload to every rank and returns it. Non-root
 // ranks pass nil.
 func (c *Comm) Bcast(root int, data []byte) ([]byte, error) {
+	return c.bcastPayload(root, data, false)
+}
+
+// bcastPayload is Bcast with an ownership flag: shared means root has
+// relinquished data (freshly marshalled, never touched again), so every
+// hop can forward it by reference.
+func (c *Comm) bcastPayload(root int, data []byte, shared bool) ([]byte, error) {
 	ctx := c.Context()
 	tag := c.nextTag()
 	if root != 0 {
 		// Rotate so the tree is rooted at 0 logically: root forwards to 0
 		// first. Simple and rare; the benchmarks root at 0.
 		if c.Rank() == root {
-			if err := c.send(ctx, 0, tag, data); err != nil {
+			var err error
+			if shared {
+				err = c.sendShared(ctx, 0, tag, data)
+			} else {
+				err = c.send(ctx, 0, tag, data)
+			}
+			if err != nil {
 				return nil, err
 			}
 		}
@@ -240,9 +311,10 @@ func (c *Comm) Bcast(root int, data []byte) ([]byte, error) {
 				return nil, err
 			}
 			data = m.Payload
+			shared = true
 		}
 	}
-	return c.treeBcast(ctx, c.nextTag(), data)
+	return c.treeBcast(ctx, c.nextTag(), data, shared)
 }
 
 // Scatter sends parts[i] to rank i and returns this rank's part. Only root
@@ -250,6 +322,12 @@ func (c *Comm) Bcast(root int, data []byte) ([]byte, error) {
 // direct sends from root — the paper's runtime likewise sends each node its
 // slice directly (§3.5).
 func (c *Comm) Scatter(root int, parts [][]byte) ([]byte, error) {
+	return c.scatterPayload(root, parts, false)
+}
+
+// scatterPayload is Scatter with an ownership flag: shared means root has
+// relinquished every part, so each is sent by reference.
+func (c *Comm) scatterPayload(root int, parts [][]byte, shared bool) ([]byte, error) {
 	ctx := c.Context()
 	tag := c.nextTag()
 	if c.Rank() == root {
@@ -260,7 +338,13 @@ func (c *Comm) Scatter(root int, parts [][]byte) ([]byte, error) {
 			if dst == root {
 				continue
 			}
-			if err := c.send(ctx, dst, tag, p); err != nil {
+			var err error
+			if shared {
+				err = c.sendShared(ctx, dst, tag, p)
+			} else {
+				err = c.send(ctx, dst, tag, p)
+			}
+			if err != nil {
 				return nil, err
 			}
 		}
@@ -276,9 +360,18 @@ func (c *Comm) Scatter(root int, parts [][]byte) ([]byte, error) {
 // Gather collects every rank's payload at root; the returned slice is
 // indexed by rank at root and nil elsewhere.
 func (c *Comm) Gather(root int, mine []byte) ([][]byte, error) {
+	return c.gatherPayload(root, mine, false)
+}
+
+// gatherPayload is Gather with an ownership flag: shared means the caller
+// has relinquished mine, so non-root ranks send it by reference.
+func (c *Comm) gatherPayload(root int, mine []byte, shared bool) ([][]byte, error) {
 	ctx := c.Context()
 	tag := c.nextTag()
 	if c.Rank() != root {
+		if shared {
+			return nil, c.sendShared(ctx, root, tag, mine)
+		}
 		return nil, c.send(ctx, root, tag, mine)
 	}
 	out := make([][]byte, c.Size())
@@ -297,13 +390,26 @@ func (c *Comm) Gather(root int, mine []byte) ([][]byte, error) {
 // binomial tree; combine must be associative. Returns (result, true) at
 // rank 0 and (nil, false) elsewhere.
 func (c *Comm) ReduceBytes(mine []byte, combine func(a, b []byte) ([]byte, error)) ([]byte, bool, error) {
+	return c.reducePayload(mine, combine, false)
+}
+
+// reducePayload is ReduceBytes with an ownership flag: shared means the
+// caller has relinquished mine and combine always returns fresh storage,
+// so partial results climb the tree by reference.
+func (c *Comm) reducePayload(mine []byte, combine func(a, b []byte) ([]byte, error), shared bool) ([]byte, bool, error) {
 	ctx := c.Context()
 	tag := c.nextTag()
 	rank, size := c.Rank(), c.Size()
 	acc := mine
 	for dist := 1; dist < size; dist <<= 1 {
 		if rank&dist != 0 {
-			if err := c.send(ctx, rank-dist, tag, acc); err != nil {
+			var err error
+			if shared {
+				err = c.sendShared(ctx, rank-dist, tag, acc)
+			} else {
+				err = c.send(ctx, rank-dist, tag, acc)
+			}
+			if err != nil {
 				return nil, false, err
 			}
 			return nil, false, nil

@@ -37,6 +37,17 @@ const (
 const (
 	kindData uint8 = 0xD1
 	kindAck  uint8 = 0xA2
+	// kindCoal is a coalesced container frame: a sequence of sub-records
+	// (data, ack batches, beats) sharing one CRC, so small protocol
+	// messages stop paying a full frame each on the wire.
+	kindCoal uint8 = 0xC0
+)
+
+// Sub-record kinds inside a kindCoal frame.
+const (
+	subData uint8 = 0x01 // one sequenced data message: seq, tag, payload
+	subAck  uint8 = 0x02 // a batch of acknowledgements: count, then seqs
+	subBeat uint8 = 0x03 // one fire-and-forget beat: tag, payload
 )
 
 // ErrRankLost reports that a peer stopped acknowledging deliveries (or
@@ -78,6 +89,19 @@ type ReliableConfig struct {
 	RecvTimeout time.Duration
 	// PollInterval is the ack/receive poll granularity (default 100µs).
 	PollInterval time.Duration
+	// CoalesceDelay bounds how long a buffered beat may wait for a fuller
+	// frame before a deadline flush, measured on the fabric clock
+	// (default 1ms). Acknowledgements are not subject to it: they always
+	// flush at the end of the pump cycle that produced them.
+	CoalesceDelay time.Duration
+	// CoalesceLimit is the number of beats buffered per peer that forces
+	// an immediate flush (default 8).
+	CoalesceLimit int
+	// DisableCoalesce reverts to the one-frame-per-message wire shape:
+	// every ack is its own frame and beats become ordinary acknowledged
+	// sends. Used by the message-volume gate to measure what coalescing
+	// saves.
+	DisableCoalesce bool
 	// Tracer, when non-nil, records retransmissions and dropped frames
 	// as trace events ("net.retry", "net.recover", "net.corrupt-drop",
 	// "net.dup-drop").
@@ -100,6 +124,12 @@ func (cfg ReliableConfig) withDefaults() ReliableConfig {
 	if cfg.PollInterval <= 0 {
 		cfg.PollInterval = 100 * time.Microsecond
 	}
+	if cfg.CoalesceDelay <= 0 {
+		cfg.CoalesceDelay = time.Millisecond
+	}
+	if cfg.CoalesceLimit <= 0 {
+		cfg.CoalesceLimit = 8
+	}
 	return cfg
 }
 
@@ -107,10 +137,16 @@ func (cfg ReliableConfig) withDefaults() ReliableConfig {
 type ReliableStats struct {
 	FramesSent     int64
 	Retries        int64
-	AcksSent       int64
+	AcksSent       int64 // logical acknowledgements (batched acks count each seq)
 	Delivered      int64
 	DupDropped     int64
 	CorruptDropped int64
+	// CoalescedFrames counts physical kindCoal frames emitted; the acks
+	// and beats they carried are in AcksSent and BeatsSent.
+	CoalescedFrames int64
+	// BeatsSent counts fire-and-forget beats shipped (in coalesced frames
+	// or piggybacked on data frames).
+	BeatsSent int64
 }
 
 // pendFrame is an out-of-order data frame parked until the gap fills.
@@ -138,18 +174,29 @@ type reliable struct {
 	ahead   []map[uint64]pendFrame // per src: frames ahead of the expected seq
 	queue   []transport.Message    // reassembled, tag-matchable deliveries
 	stats   ReliableStats
+
+	// Coalescing state (unused when cfg.DisableCoalesce).
+	coalesce  bool
+	pendAcks  [][]uint64    // per dst: acks collected during the current pump
+	beats     [][]pendFrame // per dst: buffered fire-and-forget beats
+	beatSince []time.Time   // per dst: fabric-clock time the oldest beat was buffered
 }
 
 func newReliable(c *Comm, cfg ReliableConfig) *reliable {
 	n := c.ep.Ranks()
+	cfg = cfg.withDefaults()
 	r := &reliable{
-		c:       c,
-		cfg:     cfg.withDefaults(),
-		clk:     c.f.Clock(),
-		nextSeq: make([]uint64, n),
-		acked:   make([]map[uint64]struct{}, n),
-		expect:  make([]uint64, n),
-		ahead:   make([]map[uint64]pendFrame, n),
+		c:         c,
+		cfg:       cfg,
+		clk:       c.f.Clock(),
+		nextSeq:   make([]uint64, n),
+		acked:     make([]map[uint64]struct{}, n),
+		expect:    make([]uint64, n),
+		ahead:     make([]map[uint64]pendFrame, n),
+		coalesce:  !cfg.DisableCoalesce,
+		pendAcks:  make([][]uint64, n),
+		beats:     make([][]pendFrame, n),
+		beatSince: make([]time.Time, n),
 	}
 	for i := 0; i < n; i++ {
 		r.acked[i] = map[uint64]struct{}{}
@@ -178,89 +225,148 @@ func encodeAck(seq uint64) []byte {
 	return w.Bytes()
 }
 
-// decodeFrame verifies the trailing checksum and parses the body. ok is
-// false for anything malformed — short, checksum mismatch, bad kind, or
-// trailing garbage — which the protocol treats as corruption in flight.
-func decodeFrame(b []byte) (kind uint8, seq uint64, tag int, payload []byte, ok bool) {
-	body, valid := serial.VerifyCRC(b)
-	if !valid {
-		return 0, 0, 0, nil, false
-	}
-	br := serial.NewReader(body)
-	kind = br.U8()
-	seq = br.U64()
-	switch kind {
-	case kindAck:
-		if br.Err() != nil || br.Remaining() != 0 {
-			return 0, 0, 0, nil, false
+// coalSub is one parsed sub-record of a coalesced frame.
+type coalSub struct {
+	kind    uint8
+	seq     uint64 // subData
+	seqs    []uint64
+	tag     int
+	payload []byte
+}
+
+// decodeCoal parses the sub-records of a kindCoal body (after the leading
+// kind byte). ok is false for any structural violation; the CRC has
+// already validated the bytes, so a violation means a broken encoder, but
+// the protocol still treats it as corruption rather than decoding garbage.
+func decodeCoal(br *serial.Reader) (subs []coalSub, ok bool) {
+	for br.Err() == nil && br.Remaining() > 0 {
+		switch kind := br.U8(); kind {
+		case subData:
+			seq := br.U64()
+			tag := br.Int()
+			payload := br.RawBytes()
+			subs = append(subs, coalSub{kind: subData, seq: seq, tag: tag, payload: payload})
+		case subAck:
+			n := br.U32()
+			if int(n) > br.Remaining()/8 {
+				return nil, false
+			}
+			seqs := make([]uint64, n)
+			for i := range seqs {
+				seqs[i] = br.U64()
+			}
+			subs = append(subs, coalSub{kind: subAck, seqs: seqs})
+		case subBeat:
+			tag := br.Int()
+			payload := br.RawBytes()
+			subs = append(subs, coalSub{kind: subBeat, tag: tag, payload: payload})
+		default:
+			return nil, false
 		}
-		return kind, seq, 0, nil, true
-	case kindData:
-		tag = br.Int()
-		payload = br.RawBytes()
-		if br.Err() != nil || br.Remaining() != 0 {
-			return 0, 0, 0, nil, false
-		}
-		return kind, seq, tag, payload, true
-	default:
-		return 0, 0, 0, nil, false
 	}
+	if br.Err() != nil {
+		return nil, false
+	}
+	return subs, true
 }
 
 // pump drains every frame the fabric has for this rank without blocking:
 // data frames are verified, acknowledged, deduplicated, and reassembled
-// into per-sender order; ack frames mark pending sends complete. Callers
-// must hold r.mu.
+// into per-sender order; ack frames mark pending sends complete. The
+// acknowledgements a pump collects are flushed before it returns — an ack
+// held across application compute would read as loss to the stop-and-wait
+// sender and trigger retransmits of full data frames. Callers must hold
+// r.mu.
 func (r *reliable) pump() (progress bool, err error) {
-	for {
-		m, ok, terr := r.c.ep.TryRecv(transport.AnySource, tagRelData)
-		if terr != nil {
-			return progress, terr
-		}
-		if !ok {
-			break
-		}
-		progress = true
-		if err := r.handleData(m); err != nil {
-			return progress, err
+	for _, wireTag := range [2]int{tagRelData, tagRelAck} {
+		for {
+			m, ok, terr := r.c.ep.TryRecv(transport.AnySource, wireTag)
+			if terr != nil {
+				return progress, terr
+			}
+			if !ok {
+				break
+			}
+			progress = true
+			if err := r.handleFrame(m); err != nil {
+				return progress, err
+			}
 		}
 	}
-	for {
-		m, ok, terr := r.c.ep.TryRecv(transport.AnySource, tagRelAck)
-		if terr != nil {
-			return progress, terr
-		}
-		if !ok {
-			break
-		}
-		progress = true
-		kind, seq, _, _, valid := decodeFrame(m.Payload)
-		if !valid || kind != kindAck {
-			r.stats.CorruptDropped++
-			r.cfg.Tracer.Instant(r.c.Rank(), "net.corrupt-drop", int64(len(m.Payload)))
-			continue
-		}
-		r.acked[m.Src][seq] = struct{}{}
-	}
-	return progress, nil
+	return progress, r.flushPending()
 }
 
-// handleData processes one incoming wire frame.
-func (r *reliable) handleData(m transport.Message) error {
-	kind, seq, tag, payload, valid := decodeFrame(m.Payload)
-	if !valid || kind != kindData {
+// handleFrame processes one incoming wire frame of any kind.
+func (r *reliable) handleFrame(m transport.Message) error {
+	body, valid := serial.VerifyCRC(m.Payload)
+	if !valid {
 		// Corrupt in flight: drop without acking; the sender retransmits.
-		r.stats.CorruptDropped++
-		r.cfg.Tracer.Instant(r.c.Rank(), "net.corrupt-drop", int64(len(m.Payload)))
+		return r.dropCorrupt(m)
+	}
+	br := serial.NewReader(body)
+	switch kind := br.U8(); kind {
+	case kindAck:
+		seq := br.U64()
+		if br.Err() != nil || br.Remaining() != 0 {
+			return r.dropCorrupt(m)
+		}
+		r.acked[m.Src][seq] = struct{}{}
 		return nil
+	case kindData:
+		seq := br.U64()
+		tag := br.Int()
+		payload := br.RawBytes()
+		if br.Err() != nil || br.Remaining() != 0 {
+			return r.dropCorrupt(m)
+		}
+		return r.acceptData(m.Src, seq, tag, payload)
+	case kindCoal:
+		subs, ok := decodeCoal(br)
+		if !ok {
+			return r.dropCorrupt(m)
+		}
+		for _, s := range subs {
+			switch s.kind {
+			case subData:
+				if err := r.acceptData(m.Src, s.seq, s.tag, s.payload); err != nil {
+					return err
+				}
+			case subAck:
+				for _, seq := range s.seqs {
+					r.acked[m.Src][seq] = struct{}{}
+				}
+			case subBeat:
+				// Beats bypass sequencing and deduplication entirely:
+				// deliver as-is. They may be lost, duplicated, or overtake
+				// data — the contract of SendBeat.
+				r.enqueue(m.Src, s.tag, s.payload)
+			}
+		}
+		return nil
+	default:
+		return r.dropCorrupt(m)
 	}
-	// Always ack a valid frame — a duplicate usually means our first ack
-	// was lost.
-	if err := r.c.ep.Send(m.Src, tagRelAck, encodeAck(seq)); err != nil {
-		return err
+}
+
+func (r *reliable) dropCorrupt(m transport.Message) error {
+	r.stats.CorruptDropped++
+	r.cfg.Tracer.Instant(r.c.Rank(), "net.corrupt-drop", int64(len(m.Payload)))
+	return nil
+}
+
+// acceptData runs the sequencing machinery for one data message. The ack
+// is queued for the end-of-pump batch flush when coalescing, sent
+// immediately otherwise; either way every valid message is acknowledged —
+// a duplicate usually means our first ack was lost.
+func (r *reliable) acceptData(src int, seq uint64, tag int, payload []byte) error {
+	if r.coalesce {
+		r.pendAcks[src] = append(r.pendAcks[src], seq)
+	} else {
+		if err := r.c.ep.SendShared(src, tagRelAck, encodeAck(seq)); err != nil {
+			return err
+		}
+		r.stats.AcksSent++
 	}
-	r.stats.AcksSent++
-	src := m.Src
 	switch {
 	case seq == r.expect[src]:
 		r.enqueue(src, tag, payload)
@@ -288,6 +394,82 @@ func (r *reliable) handleData(m transport.Message) error {
 	return nil
 }
 
+// flushPending emits, per peer, the acks collected during the current pump
+// cycle and any beat batch that is full or past its fabric-clock deadline.
+// A single ack with no beats keeps the compact legacy frame; anything more
+// shares one coalesced frame. Callers hold r.mu.
+func (r *reliable) flushPending() error {
+	if !r.coalesce {
+		return nil
+	}
+	var now time.Time
+	for dst := range r.pendAcks {
+		acks, beats := r.pendAcks[dst], r.beats[dst]
+		if len(acks) == 0 && len(beats) == 0 {
+			continue
+		}
+		if len(acks) == 0 && len(beats) < r.cfg.CoalesceLimit {
+			if now.IsZero() {
+				now = r.clk.Now()
+			}
+			if now.Sub(r.beatSince[dst]) < r.cfg.CoalesceDelay {
+				continue // beats alone wait for a fuller frame
+			}
+		}
+		if err := r.flushTo(dst); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// flushTo ships dst's pending acks and beats now. Callers hold r.mu.
+func (r *reliable) flushTo(dst int) error {
+	acks, beats := r.pendAcks[dst], r.beats[dst]
+	var frame []byte
+	if len(acks) == 1 && len(beats) == 0 {
+		frame = encodeAck(acks[0])
+	} else {
+		w := serial.NewWriter(16 + 8*len(acks) + 24*len(beats))
+		w.U8(kindCoal)
+		appendAckSub(w, acks)
+		for _, b := range beats {
+			appendBeatSub(w, b)
+		}
+		w.FinishCRC()
+		frame = w.Bytes()
+		r.stats.CoalescedFrames++
+	}
+	r.stats.AcksSent += int64(len(acks))
+	r.stats.BeatsSent += int64(len(beats))
+	r.pendAcks[dst] = acks[:0]
+	for i := range beats {
+		beats[i] = pendFrame{}
+	}
+	r.beats[dst] = beats[:0]
+	r.beatSince[dst] = time.Time{}
+	return r.c.ep.SendShared(dst, tagRelAck, frame)
+}
+
+// appendAckSub writes one subAck record (omitted when empty).
+func appendAckSub(w *serial.Writer, acks []uint64) {
+	if len(acks) == 0 {
+		return
+	}
+	w.U8(subAck)
+	w.U32(uint32(len(acks)))
+	for _, seq := range acks {
+		w.U64(seq)
+	}
+}
+
+// appendBeatSub writes one subBeat record.
+func appendBeatSub(w *serial.Writer, b pendFrame) {
+	w.U8(subBeat)
+	w.Int(b.tag)
+	w.RawBytes(b.payload)
+}
+
 func (r *reliable) enqueue(src, tag int, payload []byte) {
 	r.queue = append(r.queue, transport.Message{Src: src, Tag: tag, Payload: payload})
 	r.stats.Delivered++
@@ -312,11 +494,20 @@ func sleepCtx(ctx context.Context, d time.Duration) {
 // keeps serving incoming frames while it waits, so two ranks sending to
 // each other cannot deadlock. Cancelling ctx abandons the send within one
 // poll interval.
-func (r *reliable) send(ctx context.Context, dst, tag int, payload []byte) error {
+//
+// shared marks a payload the caller has relinquished (see Comm.SendShared):
+// local delivery then skips its defensive copy. Wire frames are always
+// shipped with transport.SendShared — the frame buffer belongs to this
+// layer, is never mutated after encoding, and retransmits resend the same
+// bytes, so the fabric's defensive copy would buy nothing.
+func (r *reliable) send(ctx context.Context, dst, tag int, payload []byte, shared bool) error {
 	rank := r.c.Rank()
 	if dst == rank {
 		// Local delivery: no wire, no frames.
-		cp := append([]byte(nil), payload...)
+		cp := payload
+		if !shared {
+			cp = append([]byte(nil), payload...)
+		}
 		r.mu.Lock()
 		r.enqueue(rank, tag, cp)
 		r.mu.Unlock()
@@ -325,8 +516,8 @@ func (r *reliable) send(ctx context.Context, dst, tag int, payload []byte) error
 	r.mu.Lock()
 	seq := r.nextSeq[dst]
 	r.nextSeq[dst]++
+	frame := r.buildDataFrame(dst, seq, tag, payload)
 	r.mu.Unlock()
-	frame := encodeData(seq, tag, payload)
 	timeout := r.cfg.AckTimeout
 	maxTimeout := r.cfg.MaxAckTimeout
 	// Floor the ack deadline above the simulated round trip. With a wire
@@ -369,7 +560,7 @@ func (r *reliable) send(ctx context.Context, dst, tag int, payload []byte) error
 				endRecover = r.cfg.Tracer.Begin(rank, "net.recover")
 			}
 		}
-		if err := r.c.ep.Send(dst, tagRelData, frame); err != nil {
+		if err := r.c.ep.SendShared(dst, tagRelData, frame); err != nil {
 			return finish(err)
 		}
 		r.mu.Lock()
@@ -414,6 +605,74 @@ func (r *reliable) send(ctx context.Context, dst, tag int, payload []byte) error
 
 // errAckedSentinel is an internal control-flow marker, never returned.
 var errAckedSentinel = errors.New("mpi: internal ack sentinel")
+
+// buildDataFrame encodes one data message, piggybacking dst's pending acks
+// and beats into a coalesced frame when there are any — they ride for free
+// on a frame that is going to that peer anyway. A retransmit resends the
+// piggybacked records too; acks are idempotent and beats tolerate
+// duplication by contract. Callers hold r.mu.
+func (r *reliable) buildDataFrame(dst int, seq uint64, tag int, payload []byte) []byte {
+	acks, beats := r.pendAcks[dst], r.beats[dst]
+	if !r.coalesce || (len(acks) == 0 && len(beats) == 0) {
+		return encodeData(seq, tag, payload)
+	}
+	w := serial.NewWriter(len(payload) + 48 + 8*len(acks) + 24*len(beats))
+	w.U8(kindCoal)
+	w.U8(subData)
+	w.U64(seq)
+	w.Int(tag)
+	w.RawBytes(payload)
+	appendAckSub(w, acks)
+	for _, b := range beats {
+		appendBeatSub(w, b)
+	}
+	w.FinishCRC()
+	r.stats.CoalescedFrames++
+	r.stats.AcksSent += int64(len(acks))
+	r.stats.BeatsSent += int64(len(beats))
+	r.pendAcks[dst] = acks[:0]
+	for i := range beats {
+		beats[i] = pendFrame{}
+	}
+	r.beats[dst] = beats[:0]
+	r.beatSince[dst] = time.Time{}
+	return w.Bytes()
+}
+
+// sendBeat queues one fire-and-forget beat for dst. Beats are unsequenced
+// and unacknowledged: they may be lost, duplicated (a retransmitted data
+// frame re-carries its piggybacked beats), delayed up to CoalesceDelay, or
+// overtake sequenced data — suitable only for idempotent liveness signals
+// like the farm's heartbeats. A full batch (CoalesceLimit) or an expired
+// fabric-clock deadline (CoalesceDelay) flushes the buffer; a data frame
+// to the same peer carries pending beats for free. With coalescing
+// disabled a beat degrades to an ordinary acknowledged send — the legacy
+// wire shape.
+func (r *reliable) sendBeat(dst, tag int, payload []byte) error {
+	rank := r.c.Rank()
+	if dst == rank {
+		cp := append([]byte(nil), payload...)
+		r.mu.Lock()
+		r.enqueue(rank, tag, cp)
+		r.mu.Unlock()
+		return nil
+	}
+	if !r.coalesce {
+		return r.send(context.Background(), dst, tag, payload, false)
+	}
+	cp := append([]byte(nil), payload...)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.beats[dst]) == 0 {
+		r.beatSince[dst] = r.clk.Now()
+	}
+	r.beats[dst] = append(r.beats[dst], pendFrame{tag: tag, payload: cp})
+	if len(r.beats[dst]) >= r.cfg.CoalesceLimit ||
+		r.clk.Now().Sub(r.beatSince[dst]) >= r.cfg.CoalesceDelay {
+		return r.flushTo(dst)
+	}
+	return nil
+}
 
 // match pops the first queued delivery matching (src, tag).
 func (r *reliable) match(src, tag int) (transport.Message, bool) {

@@ -9,13 +9,15 @@ import (
 	"triolet/internal/transport"
 )
 
-// BcastT broadcasts a typed value from root to all ranks.
+// BcastT broadcasts a typed value from root to all ranks. The marshalled
+// payload is freshly allocated and never touched again, so it travels the
+// shared (zero-copy) wire path.
 func BcastT[T any](c *Comm, root int, codec serial.Codec[T], v T) (T, error) {
 	var payload []byte
 	if c.Rank() == root {
 		payload = serial.Marshal(codec, v)
 	}
-	out, err := c.Bcast(root, payload)
+	out, err := c.bcastPayload(root, payload, true)
 	if err != nil {
 		var zero T
 		return zero, err
@@ -36,7 +38,7 @@ func ScatterT[T any](c *Comm, root int, codec serial.Codec[T], parts []T) (T, er
 			raw[i] = serial.Marshal(codec, p)
 		}
 	}
-	mine, err := c.Scatter(root, raw)
+	mine, err := c.scatterPayload(root, raw, true)
 	if err != nil {
 		var zero T
 		return zero, err
@@ -47,7 +49,7 @@ func ScatterT[T any](c *Comm, root int, codec serial.Codec[T], parts []T) (T, er
 // GatherT collects a typed value from every rank at root; the result is
 // indexed by rank at root and nil elsewhere.
 func GatherT[T any](c *Comm, root int, codec serial.Codec[T], mine T) ([]T, error) {
-	raw, err := c.Gather(root, serial.Marshal(codec, mine))
+	raw, err := c.gatherPayload(root, serial.Marshal(codec, mine), true)
 	if err != nil {
 		return nil, err
 	}
@@ -78,7 +80,7 @@ func ReduceT[T any](c *Comm, codec serial.Codec[T], mine T, op func(T, T) T) (T,
 		}
 		return serial.Marshal(codec, op(av, bv)), nil
 	}
-	out, ok, err := c.ReduceBytes(serial.Marshal(codec, mine), combine)
+	out, ok, err := c.reducePayload(serial.Marshal(codec, mine), combine, true)
 	if err != nil || !ok {
 		var zero T
 		return zero, false, err

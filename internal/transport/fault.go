@@ -141,12 +141,14 @@ func (in *injector) probsFor(src, dst int) FaultProbs {
 	return in.cfg.Default
 }
 
-// apply runs the fault machinery for one send whose payload has already
-// been copied and metered. handled=true means apply consumed the message
-// (delivered it, possibly mutated/duplicated/late, or lost it) and Send
-// must return err as-is; handled=false means no fault fired and Send
-// proceeds down the normal path.
-func (in *injector) apply(src, dst, tag int, payload []byte) (handled bool, err error) {
+// apply runs the fault machinery for one send that has already been
+// metered. handled=true means apply consumed the message (delivered it,
+// possibly mutated/duplicated/late, or lost it) and the send must return
+// err as-is; handled=false means no fault fired and the send proceeds down
+// the normal path routing pl — which is payload itself unless a corrupt
+// fault on a shared payload forced a copy-on-write (a shared buffer is the
+// sender's backing array; in-flight corruption must never damage it).
+func (in *injector) apply(src, dst, tag int, payload []byte, shared bool) (pl []byte, handled bool, err error) {
 	in.mu.Lock()
 
 	// Crash schedule: the sender dies when it attempts the send after its
@@ -155,7 +157,7 @@ func (in *injector) apply(src, dst, tag int, payload []byte) (handled bool, err 
 		in.stats.CrashLost++
 		in.mu.Unlock()
 		in.f.CrashRank(src)
-		return true, ErrCrashed
+		return payload, true, ErrCrashed
 	}
 	in.sends[src]++
 
@@ -164,16 +166,19 @@ func (in *injector) apply(src, dst, tag int, payload []byte) (handled bool, err 
 	if in.f.Crashed(dst) {
 		in.stats.CrashLost++
 		in.mu.Unlock()
-		return true, nil
+		return payload, true, nil
 	}
 
 	p := in.probsFor(src, dst)
 	if in.rng.Float64() < p.Drop {
 		in.stats.Dropped++
 		in.mu.Unlock()
-		return true, nil
+		return payload, true, nil
 	}
 	if in.rng.Float64() < p.Corrupt && len(payload) > 0 {
+		if shared {
+			payload = append([]byte(nil), payload...)
+		}
 		bit := in.rng.Intn(len(payload) * 8)
 		payload[bit/8] ^= 1 << (bit % 8)
 		in.stats.Corrupted++
@@ -220,21 +225,21 @@ func (in *injector) apply(src, dst, tag int, payload []byte) (handled bool, err 
 	in.mu.Unlock()
 
 	if copies == 1 && hold == 0 {
-		return false, nil // clean send: normal path
+		return payload, false, nil // clean send: normal path
 	}
 	for i := 0; i < copies; i++ {
-		pl := payload
+		cp := payload
 		if i == 1 {
-			pl = append([]byte(nil), payload...)
+			cp = append([]byte(nil), payload...)
 		}
 		if hold > 0 {
 			f := in.f
-			time.AfterFunc(hold, func() { f.route(src, dst, tag, pl) }) //nolint:errcheck
-		} else if err := in.f.route(src, dst, tag, pl); err != nil {
-			return true, err
+			time.AfterFunc(hold, func() { f.route(src, dst, tag, cp) }) //nolint:errcheck
+		} else if err := in.f.route(src, dst, tag, cp); err != nil {
+			return payload, true, err
 		}
 	}
-	return true, nil
+	return payload, true, nil
 }
 
 // snapshot returns the current fault counters.

@@ -1,0 +1,66 @@
+package transport
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestSendSharedDeliversAndMeters: SendShared is wire-identical to Send —
+// same delivery, same byte accounting — it only changes the ownership
+// contract of the payload buffer.
+func TestSendSharedDeliversAndMeters(t *testing.T) {
+	f := New(Config{Ranks: 2})
+	defer f.Close()
+	payload := []byte("shared payload bytes")
+
+	before := f.Stats()
+	if err := f.Endpoint(0).SendShared(1, 5, payload); err != nil {
+		t.Fatal(err)
+	}
+	m, ok, err := f.Endpoint(1).TryRecv(0, 5)
+	if err != nil || !ok {
+		t.Fatalf("shared send not delivered: ok=%v err=%v", ok, err)
+	}
+	if !bytes.Equal(m.Payload, payload) {
+		t.Fatalf("delivered %q, want %q", m.Payload, payload)
+	}
+	after := f.Stats()
+	if after.Messages-before.Messages != 1 {
+		t.Fatalf("metered %d messages, want 1", after.Messages-before.Messages)
+	}
+	if got := after.Bytes - before.Bytes; got != int64(len(payload)) {
+		t.Fatalf("metered %d bytes, want %d", got, len(payload))
+	}
+	if got := after.SentBytes[0] - before.SentBytes[0]; got != int64(len(payload)) {
+		t.Fatalf("sender metered %d bytes, want %d", got, len(payload))
+	}
+}
+
+// TestSendSharedCorruptFaultCopiesFirst: when the fault injector decides to
+// corrupt a shared payload, it must flip bits in a private copy — the
+// caller's aliased buffer (which may be live application data encoded with
+// serial.Raw) stays byte-for-byte intact, while the receiver sees the
+// corrupted copy.
+func TestSendSharedCorruptFaultCopiesFirst(t *testing.T) {
+	f := New(Config{
+		Ranks: 2,
+		Fault: &FaultConfig{Seed: 9, Default: FaultProbs{Corrupt: 1}},
+	})
+	defer f.Close()
+	payload := []byte("do not mutate this buffer")
+	orig := append([]byte(nil), payload...)
+
+	if err := f.Endpoint(0).SendShared(1, 5, payload); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(payload, orig) {
+		t.Fatalf("corrupt fault mutated the shared buffer: %q, want %q", payload, orig)
+	}
+	m, ok, err := f.Endpoint(1).TryRecv(0, 5)
+	if err != nil || !ok {
+		t.Fatalf("corrupted message not delivered: ok=%v err=%v", ok, err)
+	}
+	if bytes.Equal(m.Payload, orig) {
+		t.Fatal("corrupt fault with probability 1 delivered pristine bytes")
+	}
+}

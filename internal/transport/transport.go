@@ -4,7 +4,11 @@
 // MPI-style matching semantics. The fabric copies every payload, so nodes
 // cannot share memory through it — preserving the distributed-memory
 // discipline the paper's runtime is built around even though all ranks run
-// in one OS process.
+// in one OS process. SendShared is the explicit, metered exception: a
+// sender that promises never to mutate a buffer again may ship it by
+// reference (the zero-copy path for serial.Raw payloads and protocol
+// frames), and fault injection copies before corrupting so the promise
+// survives a hostile wire.
 //
 // The fabric also meters traffic (message and byte counts per rank) and
 // supports a configurable maximum message size, which the Eden baseline
@@ -151,6 +155,26 @@ func (f *Fabric) SendCtx(ctx context.Context, src, dst, tag int, payload []byte)
 // fabric buffers), matching MPI's buffered-send semantics that the paper's
 // runtime relies on; flow control is the application's concern.
 func (f *Fabric) Send(src, dst, tag int, payload []byte) error {
+	cp := make([]byte, len(payload))
+	copy(cp, payload)
+	return f.sendPayload(src, dst, tag, cp, false)
+}
+
+// SendShared is the zero-copy variant of Send: the payload is delivered
+// by reference, skipping the fabric's defensive copy, while traffic is
+// metered exactly as Send meters it — the bytes-on-the-wire accounting
+// does not change. The caller relinquishes the buffer: it must not mutate
+// payload after the call, and the receiver must treat the delivered
+// payload as read-only unless it knows it is the sole owner. Under fault
+// injection a corrupting link copies the payload before flipping a bit, so
+// a shared buffer is never damaged in place (copy-on-corrupt).
+func (f *Fabric) SendShared(src, dst, tag int, payload []byte) error {
+	return f.sendPayload(src, dst, tag, payload, true)
+}
+
+// sendPayload validates, meters, and routes one send whose payload the
+// fabric now owns (copied) or shares by contract (shared=true).
+func (f *Fabric) sendPayload(src, dst, tag int, payload []byte, shared bool) error {
 	if src < 0 || src >= f.cfg.Ranks || dst < 0 || dst >= f.cfg.Ranks {
 		return fmt.Errorf("transport: send %d→%d out of range", src, dst)
 	}
@@ -160,8 +184,6 @@ func (f *Fabric) Send(src, dst, tag int, payload []byte) error {
 	if f.cfg.MaxMessageBytes > 0 && len(payload) > f.cfg.MaxMessageBytes {
 		return fmt.Errorf("%w: %d bytes > limit %d", ErrMessageTooLarge, len(payload), f.cfg.MaxMessageBytes)
 	}
-	cp := make([]byte, len(payload))
-	copy(cp, payload)
 
 	f.messages.Add(1)
 	f.bytes.Add(int64(len(payload)))
@@ -169,11 +191,13 @@ func (f *Fabric) Send(src, dst, tag int, payload []byte) error {
 	f.recvBytes[dst].Add(int64(len(payload)))
 
 	if f.faults != nil {
-		if handled, err := f.faults.apply(src, dst, tag, cp); handled {
+		pl, handled, err := f.faults.apply(src, dst, tag, payload, shared)
+		if handled {
 			return err
 		}
+		payload = pl
 	}
-	return f.route(src, dst, tag, cp)
+	return f.route(src, dst, tag, payload)
 }
 
 // route forwards an already-copied, already-metered payload through the
@@ -370,6 +394,12 @@ func (e *Endpoint) Ranks() int { return e.f.Ranks() }
 // Send delivers payload to dst with the given tag.
 func (e *Endpoint) Send(dst, tag int, payload []byte) error {
 	return e.f.Send(e.rank, dst, tag, payload)
+}
+
+// SendShared delivers payload to dst without the fabric's defensive copy
+// (see Fabric.SendShared for the aliasing contract).
+func (e *Endpoint) SendShared(dst, tag int, payload []byte) error {
+	return e.f.SendShared(e.rank, dst, tag, payload)
 }
 
 // SendCtx is Send under a context (see Fabric.SendCtx).
