@@ -4,7 +4,8 @@
 GO ?= go
 
 .PHONY: build test race chaos chaos-resume fuzz fuzz-wal bench bench-baseline \
-	alloc-gate msg-gate msg-baseline diffcheck-gate diffcheck-soak lint vet all
+	alloc-gate msg-gate msg-baseline diffcheck-gate diffcheck-soak \
+	lint lint-selftest vet all
 
 all: vet build test
 
@@ -81,11 +82,14 @@ diffcheck-soak:
 	DIFFCHECK_SOAK=$${DIFFCHECK_SOAK:-200} $(GO) test -race -count=1 -timeout 60m -v \
 		-run Soak ./internal/diffcheck/
 
-# golangci-lint is optional locally; fall back to go vet when absent.
+# The repo's own analyzer suite: clock-injection, kernel-purity,
+# shared-buffer-aliasing, float-determinism, and message-tag contracts
+# (DESIGN.md §12). golangci-lint, when installed, adds the generic checks
+# on top; triolet-lint is the gate CI enforces (lint-gate job).
 lint:
-	@if command -v golangci-lint >/dev/null 2>&1; then \
-		golangci-lint run; \
-	else \
-		echo "golangci-lint not installed; running go vet"; \
-		$(GO) vet ./...; \
-	fi
+	$(GO) run ./cmd/triolet-lint ./...
+	@if command -v golangci-lint >/dev/null 2>&1; then golangci-lint run; fi
+
+# Prove each analyzer still catches an injected violation of its contract.
+lint-selftest:
+	./scripts/lint-selftest.sh

@@ -1,0 +1,114 @@
+// Command triolet-lint is the multichecker for the repo's contract
+// analyzers: the five go/analysis-style passes that mechanically enforce
+// what used to be prose — time flows through the injected
+// transport.Clock (fabrictime), skeleton kernels are deterministic
+// (kernelpure), SendShared/serial.Raw buffers are relinquished
+// (sharedalias), distributed float folds are order-fixed (floatdet), and
+// message tags are named and unique (tagdup).
+//
+// Usage:
+//
+//	triolet-lint [-json] [-list] [packages ...]
+//
+// Packages default to ./... . Exit status: 0 clean, 1 findings, 2 usage
+// or load failure. Findings are suppressible in source with
+// "//lint:allow <analyzer> <reason>" on the offending line or the line
+// above; the reason is mandatory and a missing one is itself a finding.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"triolet/internal/analysis"
+	"triolet/internal/analysis/fabrictime"
+	"triolet/internal/analysis/floatdet"
+	"triolet/internal/analysis/kernelpure"
+	"triolet/internal/analysis/sharedalias"
+	"triolet/internal/analysis/tagdup"
+)
+
+var analyzers = []*analysis.Analyzer{
+	fabrictime.Analyzer,
+	kernelpure.Analyzer,
+	sharedalias.Analyzer,
+	floatdet.Analyzer,
+	tagdup.Analyzer,
+}
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit findings as JSON")
+	list := flag.Bool("list", false, "list analyzers and their contracts, then exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"usage: triolet-lint [-json] [-list] [packages ...]\n\nAnalyzers:\n")
+		for _, a := range analyzers {
+			fmt.Fprintf(flag.CommandLine.Output(), "  %-12s %s\n", a.Name, a.Doc)
+		}
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	l, err := analysis.NewLoader(".")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "triolet-lint:", err)
+		os.Exit(2)
+	}
+	paths, err := l.Expand(patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "triolet-lint:", err)
+		os.Exit(2)
+	}
+	diags, err := l.Run(analyzers, paths)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "triolet-lint:", err)
+		os.Exit(2)
+	}
+
+	if *jsonOut {
+		type finding struct {
+			File     string `json:"file"`
+			Line     int    `json:"line"`
+			Col      int    `json:"col"`
+			Analyzer string `json:"analyzer"`
+			Message  string `json:"message"`
+		}
+		out := make([]finding, 0, len(diags))
+		for _, d := range diags {
+			pos := l.Fset.Position(d.Pos)
+			out = append(out, finding{
+				File: pos.Filename, Line: pos.Line, Col: pos.Column,
+				Analyzer: d.Analyzer, Message: d.Message,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(os.Stderr, "triolet-lint:", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Printf("%s: %s: %s\n", l.Fset.Position(d.Pos), d.Analyzer, d.Message)
+		}
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "triolet-lint: %d finding(s) across %d package(s)\n",
+			len(diags), len(paths))
+		os.Exit(1)
+	}
+}

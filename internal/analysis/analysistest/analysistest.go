@@ -1,0 +1,143 @@
+// Package analysistest runs an analyzer over a golden fixture package and
+// diffs its diagnostics against "// want" comments, mirroring
+// golang.org/x/tools/go/analysis/analysistest on the repo's own driver.
+//
+// A fixture line carrying one or more expectations looks like
+//
+//	now := time.Now() // want `fabrictime: .*time\.Now`
+//
+// Each backquoted (or double-quoted) string is a regular expression that
+// must match the full "analyzer: message" text of exactly one diagnostic
+// reported on that line; diagnostics with no matching want, and wants
+// with no matching diagnostic, fail the test. Suppressed findings report
+// nothing, so a fixture line with an applicable //lint:allow comment
+// simply carries no want.
+//
+// Fixtures are loaded under a caller-chosen import path, so a fixture can
+// pose as a package inside an analyzer's scope (for example as
+// triolet/internal/mpi) without touching the real package.
+package analysistest
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"triolet/internal/analysis"
+)
+
+var wantRE = regexp.MustCompile("// want (.*)$")
+var wantArgRE = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+
+// Run loads the fixture package in dir (conventionally
+// testdata/src/<name>), registers it under pkgPath, applies the analyzer,
+// and reports every mismatch against the fixture's want comments.
+func Run(t *testing.T, a *analysis.Analyzer, dir, pkgPath string) {
+	t.Helper()
+	l, err := analysis.NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := l.LoadDir(pkgPath, abs)
+	if err != nil {
+		t.Fatalf("load fixture %s: %v", dir, err)
+	}
+	diags, err := l.RunPackage([]*analysis.Analyzer{a}, pkg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	wants, err := parseWants(abs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	matched := make([]bool, len(diags))
+	for _, w := range wants {
+		found := false
+		for i, d := range diags {
+			if matched[i] {
+				continue
+			}
+			pos := l.Fset.Position(d.Pos)
+			if pos.Filename != w.file || pos.Line != w.line {
+				continue
+			}
+			if w.re.MatchString(d.Analyzer + ": " + d.Message) {
+				matched[i] = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s:%d: no diagnostic matching %q", filepath.Base(w.file), w.line, w.re)
+		}
+	}
+	for i, d := range diags {
+		if !matched[i] {
+			pos := l.Fset.Position(d.Pos)
+			t.Errorf("%s:%d: unexpected diagnostic: %s: %s",
+				filepath.Base(pos.Filename), pos.Line, d.Analyzer, d.Message)
+		}
+	}
+}
+
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+}
+
+// parseWants extracts every want expectation from the fixture's Go files.
+func parseWants(dir string) ([]want, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var wants []want
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		b, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		for i, line := range strings.Split(string(b), "\n") {
+			m := wantRE.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			args := wantArgRE.FindAllString(m[1], -1)
+			if len(args) == 0 {
+				return nil, fmt.Errorf("%s:%d: malformed want comment", path, i+1)
+			}
+			for _, arg := range args {
+				var pat string
+				if strings.HasPrefix(arg, "`") {
+					pat = strings.Trim(arg, "`")
+				} else {
+					pat, err = strconv.Unquote(arg)
+					if err != nil {
+						return nil, fmt.Errorf("%s:%d: bad want string %s: %w", path, i+1, arg, err)
+					}
+				}
+				re, err := regexp.Compile(pat)
+				if err != nil {
+					return nil, fmt.Errorf("%s:%d: bad want regexp: %w", path, i+1, err)
+				}
+				wants = append(wants, want{file: path, line: i + 1, re: re})
+			}
+		}
+	}
+	return wants, nil
+}

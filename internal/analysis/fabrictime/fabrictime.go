@@ -1,0 +1,67 @@
+// Package fabrictime enforces the clock-injection contract: inside the
+// clock-injected runtime packages (transport, mpi, cluster), time never
+// comes from the time package directly — it flows through the injected
+// transport.Clock, so simulated-time tests stay sound and timeout
+// behavior is a function of fabric time, not wall-clock jitter. The
+// contract was prose until now ("Never call time.Now here",
+// mpi/reliable.go) and was already violated in cluster/farm.go, where
+// heartbeat retirement read time.Now despite the plumbed Config.Clock.
+//
+// Real-time pacing that deliberately stays on the wall clock (sleep
+// backoff between polls, scheduling a simulated-latency delivery) must
+// carry //lint:allow fabrictime <reason>, which doubles as the audit
+// trail for every exemption.
+package fabrictime
+
+import (
+	"go/ast"
+	"path/filepath"
+
+	"triolet/internal/analysis"
+)
+
+// ScopePkgs are the clock-injected packages the contract covers.
+var ScopePkgs = map[string]bool{
+	"triolet/internal/transport": true,
+	"triolet/internal/mpi":       true,
+	"triolet/internal/cluster":   true,
+}
+
+// exemptFiles are the clock shims themselves: the one place a scoped
+// package may touch the time package to define the default system clock.
+var exemptFiles = map[string]bool{
+	"clock.go": true,
+}
+
+// Analyzer is the fabrictime pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "fabrictime",
+	Doc: "direct time.Now/Sleep/After/NewTimer/... in clock-injected packages; " +
+		"fabric time must flow through the injected transport.Clock",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !ScopePkgs[pass.PkgPath] {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if exemptFiles[filepath.Base(pass.Fset.Position(f.FileStart).Filename)] {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if name, ok := analysis.WallClockCall(pass.TypesInfo, call); ok {
+				pass.Reportf(call.Pos(),
+					"time.%s bypasses the injected transport.Clock in a clock-injected package; "+
+						"read fabric time via Clock().Now (or //lint:allow fabrictime <reason> for deliberate real-time pacing)",
+					name)
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,30 @@
+package fabrictime_test
+
+import (
+	"testing"
+
+	"triolet/internal/analysis/analysistest"
+	"triolet/internal/analysis/fabrictime"
+)
+
+// TestScoped proves every wall-clock entrypoint is flagged inside a
+// clock-injected package, methods on time values are not, a reasoned
+// //lint:allow suppresses, and a reasonless one is itself a finding.
+func TestScoped(t *testing.T) {
+	analysistest.Run(t, fabrictime.Analyzer,
+		"testdata/src/fabrictime", "triolet/internal/mpi")
+}
+
+// TestClockFileExempt proves the clock shim file may define the system
+// clock without findings.
+func TestClockFileExempt(t *testing.T) {
+	analysistest.Run(t, fabrictime.Analyzer,
+		"testdata/src/clockfile", "triolet/internal/transport")
+}
+
+// TestUnscoped proves packages outside the clock-injected set are not
+// policed.
+func TestUnscoped(t *testing.T) {
+	analysistest.Run(t, fabrictime.Analyzer,
+		"testdata/src/unscoped", "triolet/internal/harness")
+}

@@ -1,0 +1,9 @@
+// The clock shim file itself is exempt: it is the one place a scoped
+// package defines the system clock. No diagnostics expected.
+package clockfile
+
+import "time"
+
+type systemClock struct{}
+
+func (systemClock) Now() time.Time { return time.Now() }

@@ -1,0 +1,37 @@
+// Fixture for the fabrictime analyzer; loaded posing as a clock-injected
+// package (triolet/internal/mpi), so every wall-clock call below is in
+// scope.
+package fabrictime
+
+import "time"
+
+var sink time.Time
+
+func direct() {
+	sink = time.Now()               // want `fabrictime: time\.Now bypasses the injected transport\.Clock`
+	time.Sleep(time.Millisecond)    // want `fabrictime: time\.Sleep`
+	_ = time.Since(sink)            // want `fabrictime: time\.Since`
+	t := time.NewTimer(time.Second) // want `fabrictime: time\.NewTimer`
+	defer t.Stop()
+	<-time.After(time.Millisecond)      // want `fabrictime: time\.After`
+	tick := time.NewTicker(time.Second) // want `fabrictime: time\.NewTicker`
+	tick.Stop()
+	time.AfterFunc(time.Second, func() {}) // want `fabrictime: time\.AfterFunc`
+}
+
+// Value operations on time.Time/Duration never touch the wall clock and
+// must not be flagged.
+func methodsAreFine(a, b time.Time, d time.Duration) bool {
+	c := a.Add(d)
+	return c.After(b) || c.Before(b) || b.Sub(a) > d
+}
+
+// A deliberate real-time pacing call carries an allow with a reason.
+func allowedPacing() {
+	time.Sleep(time.Microsecond) //lint:allow fabrictime poll backoff paces the scheduler in real time, not fabric time
+}
+
+// An allow without a reason suppresses nothing and is itself a finding.
+func reasonIsMandatory() {
+	time.Sleep(time.Microsecond) //lint:allow fabrictime // want `fabrictime: time\.Sleep` `lintdirective: lint:allow needs an analyzer name and a reason`
+}

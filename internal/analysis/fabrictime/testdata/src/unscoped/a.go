@@ -1,0 +1,11 @@
+// A package outside the clock-injected scope: wall-clock calls are fine
+// here (harness timing, benchmarks, the trace package).
+package unscoped
+
+import "time"
+
+func Elapsed(f func()) time.Duration {
+	start := time.Now()
+	f()
+	return time.Since(start)
+}

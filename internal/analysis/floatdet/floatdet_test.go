@@ -1,0 +1,24 @@
+package floatdet_test
+
+import (
+	"testing"
+
+	"triolet/internal/analysis/analysistest"
+	"triolet/internal/analysis/floatdet"
+)
+
+// TestClusterScope proves +=, -=, the spelled-out s = s + x form, and
+// struct-field accumulation are flagged in a whole-scope package;
+// integer and non-loop accumulation are not; a reasoned allow
+// suppresses.
+func TestClusterScope(t *testing.T) {
+	analysistest.Run(t, floatdet.Analyzer,
+		"testdata/src/cluster", "triolet/internal/cluster")
+}
+
+// TestParboilDistFiles proves the dist*.go file filter: the same loop is
+// flagged in dist.go and ignored in kernel.go of the same package.
+func TestParboilDistFiles(t *testing.T) {
+	analysistest.Run(t, floatdet.Analyzer,
+		"testdata/src/parboil", "triolet/internal/parboil/fixture")
+}

@@ -1,0 +1,59 @@
+// Fixture for the floatdet analyzer; loaded posing as
+// triolet/internal/cluster, a whole-package distributed path.
+package clusterfixture
+
+func badSum(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x // want `floatdet: \+= float accumulation in a distributed path`
+	}
+	return s
+}
+
+func spelledOutForm(xs []float32) float32 {
+	var s float32
+	for i := 0; i < len(xs); i++ {
+		s = s + xs[i] // want `floatdet: \+= float accumulation`
+	}
+	return s
+}
+
+func subtractionToo(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s -= x // want `floatdet: -= float accumulation`
+	}
+	return s
+}
+
+type stats struct{ total float64 }
+
+func fieldAccumulation(st *stats, xs []float64) {
+	for _, x := range xs {
+		st.total += x // want `floatdet: \+= float accumulation`
+	}
+}
+
+// Integer accumulation commutes exactly; not a finding.
+func intSumOK(xs []int64) int64 {
+	var s int64
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// Outside a loop there is no decomposition-dependent order.
+func scalarOK(a, b float64) float64 {
+	a += b
+	return a
+}
+
+// The oracle's deliberate legacy reproduction carries an allow.
+func allowedLegacy(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x //lint:allow floatdet reproduces the legacy node-grouped fold the oracle regression-tests
+	}
+	return s
+}

@@ -1,0 +1,11 @@
+// dist*.go files under internal/parboil are the hand-rolled
+// decompositions: in scope.
+package parboilfixture
+
+func distSum(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x // want `floatdet: \+= float accumulation`
+	}
+	return s
+}

@@ -1,0 +1,12 @@
+// Non-dist files in a parboil package are the single-node kernels: their
+// accumulation order never depends on the decomposition, so they are out
+// of scope.
+package parboilfixture
+
+func kernelSum(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}

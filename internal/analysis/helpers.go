@@ -1,0 +1,62 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// BaseIdent returns the leftmost identifier an lvalue or alias expression
+// is rooted at: out[i] → out, s.field → s, *p → p, (x)[a:b] → x. It
+// returns nil for expressions not rooted at a plain identifier (calls,
+// composite literals, …).
+func BaseIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// WallClockCall reports whether call invokes a package-level function of
+// the time package that reads or schedules against the wall clock, and
+// returns its name ("Now", "Sleep", …).
+func WallClockCall(info *types.Info, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "time" {
+		return "", false
+	}
+	// Methods on time.Time/Timer/… (t.After, d.Sub) are pure value
+	// operations; only the package-level functions touch the wall clock.
+	if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+		return "", false
+	}
+	switch fn.Name() {
+	case "Now", "Sleep", "After", "AfterFunc", "NewTimer", "NewTicker",
+		"Since", "Until", "Tick":
+		return fn.Name(), true
+	}
+	return "", false
+}
+
+// IsFloat reports whether t's core type is float32 or float64.
+func IsFloat(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}

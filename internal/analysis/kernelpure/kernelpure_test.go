@@ -1,0 +1,16 @@
+package kernelpure_test
+
+import (
+	"testing"
+
+	"triolet/internal/analysis/analysistest"
+	"triolet/internal/analysis/kernelpure"
+)
+
+// TestKernels proves the four impurity classes are flagged in farm and
+// pipeline kernel position, pure kernels and non-kernel closures are not,
+// and a reasoned allow suppresses.
+func TestKernels(t *testing.T) {
+	analysistest.Run(t, kernelpure.Analyzer,
+		"testdata/src/kernelpure", "kernelfixture")
+}

@@ -1,0 +1,81 @@
+// Fixture for the kernelpure analyzer: function literals in kernel
+// position (cluster.RegisterFarm, cluster.FarmFn conversions, exported
+// iter entrypoints) checked for the four impurity classes.
+package kernelfixture
+
+import (
+	"math/rand"
+	"time"
+
+	"triolet/internal/cluster"
+	"triolet/internal/iter"
+)
+
+var counter int
+var shared []int
+
+func impureFarmKernel() {
+	cluster.RegisterFarm("bad", func(n *cluster.Node, task []byte) ([]byte, error) {
+		counter++              // want `kernelpure: kernel writes captured variable "counter"`
+		if rand.Intn(2) == 0 { // want `kernelpure: kernel draws from the global math/rand source`
+			return nil, nil
+		}
+		_ = time.Now() // want `kernelpure: kernel reads the wall clock \(time\.Now\)`
+		return task, nil
+	})
+}
+
+var _ = cluster.FarmFn(func(n *cluster.Node, task []byte) ([]byte, error) {
+	shared = task2ints(task) // want `kernelpure: kernel writes captured variable "shared"`
+	return task, nil
+})
+
+func task2ints([]byte) []int { return nil }
+
+func impureMapKernel(xs []int, weights map[int]int) iter.Iter[int] {
+	return iter.Map(func(x int) int {
+		shared[0] = x // want `kernelpure: kernel writes captured variable "shared"`
+		total := 0
+		for k, v := range weights { // want `kernelpure: kernel ranges over a map`
+			total += k * v
+		}
+		return total
+	}, iter.FromSlice(xs))
+}
+
+// Pure kernels: locals, parameters, a seeded per-task source, and value
+// returns — nothing to report.
+func pureKernels(xs []int) iter.Iter[int] {
+	doubled := iter.Map(func(x int) int {
+		local := []int{x, x}
+		local[0]++
+		return local[0] + local[1]
+	}, iter.FromSlice(xs))
+	return iter.Map(func(x int) int {
+		r := rand.New(rand.NewSource(int64(x)))
+		return x + r.Intn(3)
+	}, doubled)
+}
+
+// A reduction accumulator parameter is the kernel's own state, not a
+// captured variable.
+func pureReduce(xs []int) int {
+	return iter.Reduce(iter.FromSlice(xs), 0, func(a, x int) int {
+		a += x
+		return a
+	})
+}
+
+// Writes to captured state outside kernel position are ordinary Go.
+func notAKernel() {
+	f := func() { counter++ }
+	f()
+}
+
+// A deliberate exception carries an allow with its reason.
+func allowedCapture(out []int, xs []int) {
+	_ = iter.Map(func(x int) int {
+		out[x] = x //lint:allow kernelpure out is indexed by task id so concurrent writes never collide
+		return x
+	}, iter.FromSlice(xs))
+}

@@ -1,0 +1,245 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	// Path is the package's import path ("triolet/internal/mpi").
+	Path string
+	// Dir is the package's directory on disk.
+	Dir string
+	// Files are the parsed non-test Go files, in file-name order.
+	Files []*ast.File
+	// Types is the type-checked package object.
+	Types *types.Package
+	// Info holds the checker's syntax→object maps for Files.
+	Info *types.Info
+}
+
+// Loader loads and type-checks packages of one module using only the
+// standard library: module-internal imports resolve by path inside the
+// module tree, everything else type-checks from GOROOT source. Loaded
+// packages are cached, so a multi-analyzer run checks each package once.
+type Loader struct {
+	// ModuleRoot is the directory holding go.mod.
+	ModuleRoot string
+	// ModulePath is the module's import-path prefix ("triolet").
+	ModulePath string
+	// Fset is shared by every package the loader touches.
+	Fset *token.FileSet
+
+	std      types.ImporterFrom
+	pkgs     map[string]*Package // import path → loaded package
+	loading  map[string]bool     // cycle detection
+	buildCtx build.Context
+}
+
+// NewLoader returns a loader rooted at the module containing dir.
+func NewLoader(dir string) (*Loader, error) {
+	root, modPath, err := findModule(dir)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	ctx := build.Default
+	return &Loader{
+		ModuleRoot: root,
+		ModulePath: modPath,
+		Fset:       fset,
+		std:        importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
+		pkgs:       map[string]*Package{},
+		loading:    map[string]bool{},
+		buildCtx:   ctx,
+	}, nil
+}
+
+// findModule walks up from dir to the enclosing go.mod and parses the
+// module path from its first "module" directive.
+func findModule(dir string) (root, modPath string, err error) {
+	d, err := filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for {
+		b, err := os.ReadFile(filepath.Join(d, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(b), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					return d, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("analysis: %s/go.mod has no module directive", d)
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", "", fmt.Errorf("analysis: no go.mod above %s", dir)
+		}
+		d = parent
+	}
+}
+
+// Expand resolves package patterns ("./...", "./internal/mpi",
+// "triolet/internal/...") into the import paths of the matching module
+// packages, in sorted order. Directories named testdata, vendored trees,
+// and dot/underscore directories are skipped, matching the go tool.
+func (l *Loader) Expand(patterns []string) ([]string, error) {
+	seen := map[string]bool{}
+	var out []string
+	add := func(p string) {
+		if !seen[p] {
+			seen[p] = true
+			out = append(out, p)
+		}
+	}
+	for _, pat := range patterns {
+		rel, recursive := strings.CutSuffix(pat, "/...")
+		rel = strings.TrimSuffix(rel, "/")
+		if rel == "." || rel == "" {
+			rel = ""
+		} else if r, ok := strings.CutPrefix(rel, l.ModulePath+"/"); ok {
+			rel = r
+		} else {
+			rel = strings.TrimPrefix(rel, "./")
+		}
+		base := filepath.Join(l.ModuleRoot, filepath.FromSlash(rel))
+		if !recursive {
+			if l.hasGoFiles(base) {
+				add(l.importPathFor(base))
+			} else if rel != "" {
+				return nil, fmt.Errorf("analysis: no Go files in %s", base)
+			}
+			continue
+		}
+		err := filepath.WalkDir(base, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if path != base && (name == "testdata" || name == "vendor" ||
+				strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			if l.hasGoFiles(path) {
+				add(l.importPathFor(path))
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+func (l *Loader) hasGoFiles(dir string) bool {
+	p, err := l.buildCtx.ImportDir(dir, 0)
+	return err == nil && len(p.GoFiles) > 0
+}
+
+func (l *Loader) importPathFor(dir string) string {
+	rel, err := filepath.Rel(l.ModuleRoot, dir)
+	if err != nil || rel == "." {
+		return l.ModulePath
+	}
+	return l.ModulePath + "/" + filepath.ToSlash(rel)
+}
+
+// Load returns the type-checked package for an import path inside the
+// module (or, for analysistest, a path rooted at an extra source dir —
+// see LoadDir).
+func (l *Loader) Load(path string) (*Package, error) {
+	if p, ok := l.pkgs[path]; ok {
+		return p, nil
+	}
+	rel, ok := strings.CutPrefix(path, l.ModulePath)
+	if !ok {
+		return nil, fmt.Errorf("analysis: %q is not a module package", path)
+	}
+	dir := filepath.Join(l.ModuleRoot, filepath.FromSlash(strings.TrimPrefix(rel, "/")))
+	return l.LoadDir(path, dir)
+}
+
+// LoadDir parses and type-checks the package in dir, registering it under
+// the given import path.
+func (l *Loader) LoadDir(path, dir string) (*Package, error) {
+	if p, ok := l.pkgs[path]; ok {
+		return p, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("analysis: import cycle through %q", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	bp, err := l.buildCtx.ImportDir(dir, 0)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: %s: %w", dir, err)
+	}
+	files := make([]*ast.File, 0, len(bp.GoFiles))
+	sort.Strings(bp.GoFiles)
+	for _, name := range bp.GoFiles {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{
+		Importer: &moduleImporter{l: l},
+		Sizes:    types.SizesFor("gc", runtime.GOARCH),
+	}
+	tpkg, err := conf.Check(path, l.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: typecheck %s: %w", path, err)
+	}
+	p := &Package{Path: path, Dir: dir, Files: files, Types: tpkg, Info: info}
+	l.pkgs[path] = p
+	return p, nil
+}
+
+// moduleImporter resolves module-internal imports through the loader and
+// everything else through the source importer (GOROOT source).
+type moduleImporter struct{ l *Loader }
+
+func (m *moduleImporter) Import(path string) (*types.Package, error) {
+	return m.ImportFrom(path, "", 0)
+}
+
+func (m *moduleImporter) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	l := m.l
+	if path == l.ModulePath || strings.HasPrefix(path, l.ModulePath+"/") {
+		p, err := l.Load(path)
+		if err != nil {
+			return nil, err
+		}
+		return p.Types, nil
+	}
+	return l.std.ImportFrom(path, dir, 0)
+}

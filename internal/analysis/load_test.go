@@ -1,0 +1,59 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestLoadModulePackages proves the stdlib-only loader can type-check the
+// runtime packages the analyzers target, including their full transitive
+// stdlib closure resolved from GOROOT source.
+func TestLoadModulePackages(t *testing.T) {
+	l, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.ModulePath != "triolet" {
+		t.Fatalf("module path = %q, want triolet", l.ModulePath)
+	}
+	for _, path := range []string{
+		"triolet/internal/transport",
+		"triolet/internal/mpi",
+		"triolet/internal/cluster",
+	} {
+		p, err := l.Load(path)
+		if err != nil {
+			t.Fatalf("Load(%s): %v", path, err)
+		}
+		if len(p.Files) == 0 || p.Types == nil {
+			t.Fatalf("Load(%s): empty package", path)
+		}
+	}
+}
+
+// TestExpandPatterns checks ./... expansion skips testdata and finds the
+// analyzer packages themselves.
+func TestExpandPatterns(t *testing.T) {
+	l, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	paths, err := l.Expand([]string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for _, p := range paths {
+		seen[p] = true
+	}
+	for _, want := range []string{"triolet/internal/mpi", "triolet/internal/analysis"} {
+		if !seen[want] {
+			t.Errorf("Expand(./...) missing %s (got %d packages)", want, len(paths))
+		}
+	}
+	for p := range seen {
+		if p != "triolet" && !strings.HasPrefix(p, "triolet/") {
+			t.Errorf("package path %q not rooted at the module", p)
+		}
+	}
+}

@@ -1,0 +1,124 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Run applies every analyzer to every listed package (import paths, as
+// returned by Expand), applies //lint:allow suppressions, and returns the
+// surviving diagnostics in source order. A package that fails to load is
+// an error: the lint gate must not silently skip code it cannot see.
+func (l *Loader) Run(analyzers []*Analyzer, paths []string) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, path := range paths {
+		pkg, err := l.Load(path)
+		if err != nil {
+			return nil, err
+		}
+		ds, err := l.RunPackage(analyzers, pkg)
+		if err != nil {
+			return nil, err
+		}
+		diags = append(diags, ds...)
+	}
+	sort.SliceStable(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+	return diags, nil
+}
+
+// RunPackage applies the analyzers to one already-loaded package.
+func (l *Loader) RunPackage(analyzers []*Analyzer, pkg *Package) ([]Diagnostic, error) {
+	var raw []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      l.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			PkgPath:   pkg.Path,
+			TypesInfo: pkg.Info,
+			report:    func(d Diagnostic) { raw = append(raw, d) },
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("analysis: %s on %s: %w", a.Name, pkg.Path, err)
+		}
+	}
+	allows, bad := collectAllows(l.Fset, pkg.Files)
+	var out []Diagnostic
+	for _, d := range raw {
+		if !suppressed(l.Fset, allows, d) {
+			out = append(out, d)
+		}
+	}
+	// A malformed suppression is itself a diagnostic: an allow without a
+	// reason silences a contract with no audit trail, which is exactly
+	// what the suite exists to prevent.
+	out = append(out, bad...)
+	return out, nil
+}
+
+// allow is one parsed //lint:allow comment.
+type allow struct {
+	analyzer string
+	reason   string
+	line     int
+}
+
+// collectAllows parses every "//lint:allow <analyzer> <reason>" comment in
+// the package. An allow with a missing reason (or missing analyzer name)
+// is returned as an error diagnostic instead of a usable suppression.
+func collectAllows(fset *token.FileSet, files []*ast.File) (map[string][]allow, []Diagnostic) {
+	allows := map[string][]allow{} // filename → allows
+	var bad []Diagnostic
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, "//lint:allow")
+				if !ok {
+					continue
+				}
+				// Fixture convention: a "// want" expectation sharing the
+				// line folds into this comment's text; it is never part of
+				// the directive.
+				if i := strings.Index(rest, "// want"); i >= 0 {
+					rest = rest[:i]
+				}
+				pos := fset.Position(c.Pos())
+				fields := strings.Fields(rest)
+				if len(fields) < 2 {
+					bad = append(bad, Diagnostic{
+						Pos:      c.Pos(),
+						Analyzer: "lintdirective",
+						Message:  "lint:allow needs an analyzer name and a reason: //lint:allow <analyzer> <why this violation is safe>",
+					})
+					continue
+				}
+				allows[pos.Filename] = append(allows[pos.Filename], allow{
+					analyzer: fields[0],
+					reason:   strings.Join(fields[1:], " "),
+					line:     pos.Line,
+				})
+			}
+		}
+	}
+	return allows, bad
+}
+
+// suppressed reports whether d is covered by an allow for its analyzer on
+// the same line or the line directly above (the two idiomatic comment
+// placements).
+func suppressed(fset *token.FileSet, allows map[string][]allow, d Diagnostic) bool {
+	pos := fset.Position(d.Pos)
+	for _, a := range allows[pos.Filename] {
+		if a.analyzer != d.Analyzer {
+			continue
+		}
+		if a.line == pos.Line || a.line == pos.Line-1 {
+			return true
+		}
+	}
+	return false
+}

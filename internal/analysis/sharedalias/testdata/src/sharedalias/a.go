@@ -1,0 +1,54 @@
+// Fixture for the sharedalias analyzer: writes to a buffer after it was
+// relinquished to SendShared or viewed as wire bytes by serial.Raw.
+package sharedfixture
+
+import "triolet/internal/serial"
+
+// conn stands in for transport.Endpoint / mpi.Comm: the contract is
+// carried by the SendShared method name, wherever it is defined.
+type conn struct{}
+
+func (conn) SendShared(dst, tag int, payload []byte) error { return nil }
+func (conn) Send(dst, tag int, payload []byte) error       { return nil }
+
+func writeAfterSend(c conn, buf []byte) {
+	_ = c.SendShared(1, 0, buf)
+	buf[0] = 1 // want `sharedalias: "buf" is written after being relinquished to SendShared`
+}
+
+func writeAfterRaw(xs []float64) []byte {
+	b := serial.Raw(xs)
+	xs[0] = 2 // want `sharedalias: "xs" is written after being relinquished to serial\.Raw`
+	return b
+}
+
+func aliasedWrites(c conn, buf []byte) {
+	_ = c.SendShared(1, 0, buf)
+	tail := buf[2:]
+	tail[0] = 9          // want `sharedalias: "tail" is written after being relinquished to SendShared`
+	buf = append(buf, 1) // want `sharedalias: "buf" is written after`
+	copy(buf, tail)      // want `sharedalias: "buf" is written after`
+}
+
+// Writes sequenced before the send are the normal fill-then-ship pattern.
+func writeBeforeSendOK(c conn, buf []byte) {
+	buf[0] = 1
+	copy(buf[1:], buf[:1])
+	_ = c.SendShared(1, 0, buf)
+}
+
+// A copying Send relinquishes nothing.
+func plainSendOK(c conn, buf []byte) {
+	_ = c.Send(1, 0, buf)
+	buf[0] = 1
+}
+
+// Rebinding the variable to a fresh allocation is safe: the relinquished
+// backing array is untouched. (A later write through the rebound variable
+// is a known flow-insensitive false positive; carry an allow.)
+func rebindOK(c conn, buf []byte) []byte {
+	_ = c.SendShared(1, 0, buf)
+	buf = make([]byte, 4)
+	buf[0] = 1 //lint:allow sharedalias buf was rebound to a fresh allocation on the previous line
+	return buf
+}

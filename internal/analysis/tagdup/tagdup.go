@@ -1,0 +1,112 @@
+// Package tagdup enforces the message-tag discipline in the
+// communication layers: every tag is a named constant (never a raw
+// integer literal at a Send/Recv call site, where a typo silently
+// cross-wires two protocols), and within a package no two tag constants
+// share a value (a duplicate makes one protocol's messages match
+// another's receive, the hardest class of fabric bug to debug — the farm
+// tags, the control tag, and the reliable layer's wire tags all live a
+// constant apart).
+package tagdup
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"sort"
+	"strings"
+
+	"triolet/internal/analysis"
+)
+
+// ScopePkgs are the packages that own wire tags.
+var ScopePkgs = map[string]bool{
+	"triolet/internal/mpi":     true,
+	"triolet/internal/cluster": true,
+}
+
+// Analyzer is the tagdup pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "tagdup",
+	Doc: "duplicate message-tag constant values, and raw integer literals " +
+		"passed as tags at Send/Recv call sites",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !ScopePkgs[pass.PkgPath] {
+		return nil
+	}
+	checkDuplicates(pass)
+	checkLiteralTags(pass)
+	return nil
+}
+
+// checkDuplicates reports two package-level tag constants sharing a value.
+func checkDuplicates(pass *analysis.Pass) {
+	scope := pass.Pkg.Scope()
+	type tagConst struct {
+		name string
+		val  int64
+		obj  *types.Const
+	}
+	var tags []tagConst
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || !strings.Contains(strings.ToLower(name), "tag") {
+			continue
+		}
+		if c.Val().Kind() != constant.Int {
+			continue
+		}
+		v, ok := constant.Int64Val(c.Val())
+		if !ok {
+			continue
+		}
+		tags = append(tags, tagConst{name: name, val: v, obj: c})
+	}
+	sort.Slice(tags, func(i, j int) bool {
+		if tags[i].val != tags[j].val {
+			return tags[i].val < tags[j].val
+		}
+		return tags[i].obj.Pos() < tags[j].obj.Pos()
+	})
+	for i := 1; i < len(tags); i++ {
+		if tags[i].val == tags[i-1].val {
+			pass.Reportf(tags[i].obj.Pos(),
+				"tag constant %s duplicates the value of %s (%d); overlapping tags cross-wire "+
+					"protocols on the shared fabric", tags[i].name, tags[i-1].name, tags[i].val)
+		}
+	}
+}
+
+// checkLiteralTags reports raw integer literals in tag argument position.
+func checkLiteralTags(pass *analysis.Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := analysis.CalleeFunc(pass.TypesInfo, call)
+			if fn == nil {
+				return true
+			}
+			sig, ok := fn.Type().(*types.Signature)
+			if !ok {
+				return true
+			}
+			for i := 0; i < sig.Params().Len() && i < len(call.Args); i++ {
+				if sig.Params().At(i).Name() != "tag" {
+					continue
+				}
+				if lit, ok := ast.Unparen(call.Args[i]).(*ast.BasicLit); ok {
+					pass.Report(call.Args[i].Pos(), fmt.Sprintf(
+						"raw literal %s passed as the tag to %s; tags must be named constants "+
+							"so tagdup can prove them unique", lit.Value, fn.Name()))
+				}
+			}
+			return true
+		})
+	}
+}

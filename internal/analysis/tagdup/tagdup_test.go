@@ -1,0 +1,15 @@
+package tagdup_test
+
+import (
+	"testing"
+
+	"triolet/internal/analysis/analysistest"
+	"triolet/internal/analysis/tagdup"
+)
+
+// TestTags proves duplicate tag-constant values and raw literal tags at
+// call sites are flagged, derived/non-tag constants and non-tag literal
+// arguments are not, and a reasoned allow suppresses.
+func TestTags(t *testing.T) {
+	analysistest.Run(t, tagdup.Analyzer, "testdata/src/tagdup", "triolet/internal/mpi")
+}

@@ -1,0 +1,32 @@
+// Fixture for the tagdup analyzer; loaded posing as triolet/internal/mpi,
+// a tag-owning package.
+package tagfixture
+
+// Named tag constants: unique values pass, a duplicate is flagged at its
+// (position-wise) second definition.
+const (
+	tagAlpha  = 5
+	tagBeta   = 6
+	tagStolen = 5 // want `tagdup: tag constant tagStolen duplicates the value of tagAlpha \(5\)`
+	// Derived tags a constant apart are the idiom; still unique.
+	tagGamma = tagBeta + 1
+	// Non-tag constants share values freely.
+	maxRetries   = 5
+	kindControl  = 6
+	BacklogDepth = 5
+)
+
+func Send(dst, tag int, payload []byte) error    { return nil }
+func Recv(src, tag int) ([]byte, error)          { return nil, nil }
+func Other(dst, count int, payload []byte) error { return nil }
+
+func callSites() {
+	_ = Send(1, tagAlpha, nil)
+	_, _ = Recv(1, tagGamma)
+	_ = Send(1, 42, nil) // want `tagdup: raw literal 42 passed as the tag to Send`
+	_, _ = Recv(1, 7)    // want `tagdup: raw literal 7 passed as the tag to Recv`
+	// A literal in a non-tag parameter is fine.
+	_ = Other(1, 42, nil)
+	// Suppressed with a reason.
+	_ = Send(1, 9, nil) //lint:allow tagdup protocol probe deliberately uses an unclaimed tag
+}

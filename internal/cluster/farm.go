@@ -123,7 +123,7 @@ func farmWorker(n *Node, fn FarmFn) error {
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		tick := time.NewTicker(interval)
+		tick := time.NewTicker(interval) //lint:allow fabrictime beat pacing is real-time by design; liveness deadlines are measured on the fabric clock master-side
 		defer tick.Stop()
 		for {
 			select {
@@ -404,9 +404,13 @@ func (s *Session) FarmOpts(name string, tasks [][]byte, opt FarmOptions) (*FarmR
 			queue = append(queue, i)
 		}
 	}
+	// Liveness bookkeeping runs on the fabric clock: with an injected
+	// Config.Clock, heartbeat retirement is a function of fabric time
+	// (provable under a simulated clock), not of wall-clock scheduling.
+	clk := s.fabric.Clock()
 	busy := map[int]int{} // worker rank → in-flight task index
 	lastSeen := map[int]time.Time{}
-	now := time.Now()
+	now := clk.Now()
 	for w := range alive {
 		lastSeen[w] = now
 	}
@@ -444,7 +448,7 @@ func (s *Session) FarmOpts(name string, tasks [][]byte, opt FarmOptions) (*FarmR
 		}
 		queue = append(queue[:pick], queue[pick+1:]...)
 		busy[w] = idx
-		lastSeen[w] = time.Now()
+		lastSeen[w] = clk.Now()
 		return nil
 	}
 
@@ -522,7 +526,7 @@ func (s *Session) FarmOpts(name string, tasks [][]byte, opt FarmOptions) (*FarmR
 			if !ok {
 				break
 			}
-			lastSeen[hm.Src] = time.Now()
+			lastSeen[hm.Src] = clk.Now()
 		}
 
 		m, ok, err := s.node.Comm.TryRecv(transport.AnySource, farmResultTag)
@@ -530,7 +534,7 @@ func (s *Session) FarmOpts(name string, tasks [][]byte, opt FarmOptions) (*FarmR
 			return res, fmt.Errorf("cluster: farm %q collect: %w", name, err)
 		}
 		if ok {
-			lastSeen[m.Src] = time.Now()
+			lastSeen[m.Src] = clk.Now()
 			r := serial.NewReader(m.Payload)
 			idx := r.Int()
 			okTask := r.Bool()
@@ -584,7 +588,7 @@ func (s *Session) FarmOpts(name string, tasks [][]byte, opt FarmOptions) (*FarmR
 				toLose = append(toLose, w)
 				continue
 			}
-			if hbTimeout > 0 && time.Since(lastSeen[w]) > hbTimeout {
+			if hbTimeout > 0 && clk.Now().Sub(lastSeen[w]) > hbTimeout {
 				tr.Instant(0, "farm.heartbeat-miss", int64(w))
 				toLose = append(toLose, w)
 			}
@@ -612,12 +616,14 @@ func (s *Session) FarmOpts(name string, tasks [][]byte, opt FarmOptions) (*FarmR
 }
 
 // sleepCtx sleeps for d or until ctx is cancelled, whichever is first.
+// The sleep is wall-clock on purpose: it paces the collect loop's polling
+// against the real scheduler; no protocol deadline is measured here.
 func sleepCtx(ctx context.Context, d time.Duration) {
 	if ctx.Done() == nil {
-		time.Sleep(d)
+		time.Sleep(d) //lint:allow fabrictime poll backoff paces the real scheduler; no fabric deadline is measured
 		return
 	}
-	t := time.NewTimer(d)
+	t := time.NewTimer(d) //lint:allow fabrictime poll backoff paces the real scheduler; no fabric deadline is measured
 	defer t.Stop()
 	select {
 	case <-ctx.Done():

@@ -476,12 +476,15 @@ func (r *reliable) enqueue(src, tag int, payload []byte) {
 }
 
 // sleepCtx sleeps for d or until ctx is cancelled, whichever is first.
+// The sleep is wall-clock on purpose: it paces retransmit polling against
+// the real scheduler; ack deadlines themselves are measured on the fabric
+// clock (r.clk — "Never call time.Now here" is enforced by fabrictime).
 func sleepCtx(ctx context.Context, d time.Duration) {
 	if ctx.Done() == nil {
-		time.Sleep(d)
+		time.Sleep(d) //lint:allow fabrictime retry-poll backoff paces the real scheduler; ack deadlines use the fabric clock
 		return
 	}
-	t := time.NewTimer(d)
+	t := time.NewTimer(d) //lint:allow fabrictime retry-poll backoff paces the real scheduler; ack deadlines use the fabric clock
 	defer t.Stop()
 	select {
 	case <-ctx.Done():

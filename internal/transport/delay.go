@@ -102,7 +102,7 @@ func (d *delayer) drain(src int, eq *edgeQueue) {
 		eq.mu.Unlock()
 
 		if wait := m.readyAt.Sub(d.f.Clock().Now()); wait > 0 {
-			time.Sleep(wait)
+			time.Sleep(wait) //lint:allow fabrictime realizes simulated latency as real elapsed time; the wait itself is computed on the fabric clock
 		}
 		d.f.deliver(src, m.dst, m.tag, m.payload)
 	}

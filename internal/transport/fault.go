@@ -193,7 +193,10 @@ func (in *injector) apply(src, dst, tag int, payload []byte, shared bool) (pl []
 	// been reached (the quota counts completed deliveries, so the first
 	// held message is quota+1), then route through the hold window while it
 	// is open.
-	now := time.Now()
+	// Pause-window bookkeeping follows the fabric clock, so an injected
+	// simulated clock drives pause expiry the same way it drives the
+	// reliable layer's ack deadlines.
+	now := in.f.Clock().Now()
 	pending := in.pauseAt[dst]
 	for i := 0; i < len(pending); {
 		if in.delivered[dst] >= pending[i].AfterDeliveries {
@@ -234,6 +237,7 @@ func (in *injector) apply(src, dst, tag int, payload []byte, shared bool) (pl []
 		}
 		if hold > 0 {
 			f := in.f
+			//lint:allow fabrictime delayed redelivery is scheduled in real time; the hold length derives from fabric-clock windows
 			time.AfterFunc(hold, func() { f.route(src, dst, tag, cp) }) //nolint:errcheck
 		} else if err := in.f.route(src, dst, tag, cp); err != nil {
 			return payload, true, err

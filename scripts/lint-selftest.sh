@@ -1,0 +1,119 @@
+#!/usr/bin/env sh
+# Lint-gate selftest: prove cmd/triolet-lint still catches each contract
+# violation it exists to catch. For every analyzer, one minimal violation is
+# injected into a scratch copy of the repo and the gate is required to fail
+# naming that analyzer; a clean pass over the unmodified copy is required
+# first. A silently broken analyzer therefore fails CI even though the repo
+# itself lints clean.
+set -eu
+
+ROOT=$(cd "$(dirname "$0")/.." && pwd)
+TMP=$(mktemp -d)
+trap 'rm -rf "$TMP"' EXIT INT TERM
+
+echo "lint-selftest: building triolet-lint"
+(cd "$ROOT" && go build -o "$TMP/triolet-lint" ./cmd/triolet-lint)
+
+REPO="$TMP/repo"
+mkdir "$REPO"
+(cd "$ROOT" && tar -cf - --exclude .git .) | (cd "$REPO" && tar -xf -)
+
+lint() { (cd "$REPO" && "$TMP/triolet-lint" ./...); }
+
+echo "lint-selftest: clean copy must pass"
+if ! lint >"$TMP/out" 2>&1; then
+    echo "lint-selftest: FAIL — clean tree did not lint clean:" >&2
+    cat "$TMP/out" >&2
+    exit 1
+fi
+
+# expect_fail <analyzer> <injected-file>: with the file in place, the gate
+# must exit nonzero and the findings must name the analyzer.
+expect_fail() {
+    analyzer=$1
+    file=$2
+    if lint >"$TMP/out" 2>&1; then
+        echo "lint-selftest: FAIL — $analyzer did not flag $file" >&2
+        exit 1
+    fi
+    if ! grep -q " $analyzer: " "$TMP/out"; then
+        echo "lint-selftest: FAIL — gate failed on $file but not via $analyzer:" >&2
+        cat "$TMP/out" >&2
+        exit 1
+    fi
+    rm "$REPO/$file"
+    echo "lint-selftest: $analyzer ok"
+}
+
+# fabrictime: wall-clock read in a clock-injected package.
+cat >"$REPO/internal/mpi/zz_lintcheck.go" <<'EOF'
+package mpi
+
+import "time"
+
+func zzLintCheckFabricTime() time.Time { return time.Now() }
+EOF
+expect_fail fabrictime internal/mpi/zz_lintcheck.go
+
+# kernelpure: a farm kernel writing a captured outer variable.
+cat >"$REPO/internal/cluster/zz_lintcheck.go" <<'EOF'
+package cluster
+
+func zzLintCheckKernelPure() {
+	counter := 0
+	RegisterFarm("zz.lintcheck", func(n *Node, task []byte) ([]byte, error) {
+		counter++
+		return task, nil
+	})
+	_ = counter
+}
+EOF
+expect_fail kernelpure internal/cluster/zz_lintcheck.go
+
+# sharedalias: buffer written after being relinquished to the wire.
+cat >"$REPO/internal/cluster/zz_lintcheck.go" <<'EOF'
+package cluster
+
+import "triolet/internal/transport"
+
+func zzLintCheckSharedAlias(ep *transport.Endpoint, buf []byte) error {
+	err := ep.SendShared(1, 1, buf)
+	buf[0] = 0
+	return err
+}
+EOF
+expect_fail sharedalias internal/cluster/zz_lintcheck.go
+
+# floatdet: nondeterministic float accumulation loop in a distributed path.
+cat >"$REPO/internal/cluster/zz_lintcheck.go" <<'EOF'
+package cluster
+
+func zzLintCheckFloatDet(vs []float64) float64 {
+	s := 0.0
+	for _, v := range vs {
+		s += v
+	}
+	return s
+}
+EOF
+expect_fail floatdet internal/cluster/zz_lintcheck.go
+
+# tagdup: two tag constants sharing a value.
+cat >"$REPO/internal/mpi/zz_lintcheck.go" <<'EOF'
+package mpi
+
+const (
+	zzTagLintA = 77777
+	zzTagLintB = 77777
+)
+EOF
+expect_fail tagdup internal/mpi/zz_lintcheck.go
+
+echo "lint-selftest: restored copy must pass again"
+if ! lint >"$TMP/out" 2>&1; then
+    echo "lint-selftest: FAIL — tree did not lint clean after removals:" >&2
+    cat "$TMP/out" >&2
+    exit 1
+fi
+
+echo "lint-selftest: all 5 analyzers catch their injected violation"
