@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: build test race chaos chaos-resume fuzz fuzz-wal bench bench-baseline \
-	alloc-gate msg-gate msg-baseline diffcheck-gate diffcheck-soak \
-	lint lint-selftest vet all
+.PHONY: build test race chaos chaos-resume chaos-campaign fuzz fuzz-wal \
+	bench bench-baseline alloc-gate msg-gate msg-baseline diffcheck-gate \
+	diffcheck-soak lint lint-selftest vet all
 
 all: vet build test
 
@@ -37,6 +37,15 @@ chaos-resume:
 		-run 'Resume|Quarantine|Heartbeat|Cancel|Ctx' \
 		./internal/cluster/ ./internal/parboil/sgemm/ \
 		./internal/transport/ ./internal/mpi/
+
+# The multi-tenant job-service acceptance gate (-race test + the
+# triolet-bench -campaign command): concurrent jobs with one poison-heavy
+# tenant on a 2%-fault fabric, mid-flight master kills resumed
+# bit-identically from the WAL with no task re-executed, bounded-wait
+# fairness, and fast typed admission rejection. Size with CAMPAIGN_JOBS /
+# CAMPAIGN_TASKS / CAMPAIGN_KILLS (the nightly runs it full-size).
+chaos-campaign:
+	./scripts/chaos-campaign.sh
 
 # 30-second fuzz smoke over the wire-format decoders.
 fuzz:

@@ -43,6 +43,14 @@ func main() {
 	netLatUS := flag.Int("netlat", 0, "with -sweep: simulated per-message wire latency in microseconds")
 	netMBs := flag.Float64("netbw", 0, "with -sweep: simulated wire bandwidth in MB/s")
 	farmDemo := flag.Bool("farm-demo", false, "demo the supervised farm lifecycle: checkpoint to a WAL, kill the master mid-job, resume, quarantine a poison task")
+	campaign := flag.Bool("campaign", false, "run the multi-tenant chaos campaign: concurrent jobs on a 2%-fault fabric, mid-flight master kills with bit-identical WAL resume, fairness and admission gates")
+	campaignJobs := flag.Int("campaign-jobs", 8, "with -campaign: concurrent jobs (job 1 is poison-heavy)")
+	campaignTasks := flag.Int("campaign-tasks", 12, "with -campaign: tasks per job")
+	campaignKills := flag.Int("campaign-kills", 2, "with -campaign: mid-flight master kills before the final drain")
+	campaignSeed := flag.Int64("campaign-seed", 0, "with -campaign: fault/jitter/backoff seed (0 = the default seed)")
+	serve := flag.Bool("serve", false, "host the multi-tenant job service over HTTP on a virtual cluster")
+	addr := flag.String("addr", "localhost:8080", "with -serve: HTTP listen address")
+	walPath := flag.String("wal", "", "with -serve: registry WAL path (durable jobs; restart resumes); with -campaign: WAL directory")
 	benchGate := flag.Bool("bench-gate", false, "run the fused-pipeline regression benchmarks")
 	jsonOut := flag.Bool("json", false, "with -bench-gate: emit results as JSON")
 	baseline := flag.String("baseline", "", "with -bench-gate: compare ratios against this baseline file and fail on >10% regression")
@@ -77,6 +85,14 @@ func main() {
 
 	if *farmDemo {
 		finish(runFarmDemo(*nodes))
+	}
+
+	if *campaign {
+		finish(runCampaign(*campaignJobs, *campaignTasks, *campaignKills, *nodes, *campaignSeed, *walPath))
+	}
+
+	if *serve {
+		finish(runServe(*nodes, *addr, *walPath))
 	}
 
 	if *verify {

@@ -27,9 +27,21 @@ const (
 	// attempts — and carries the final error message. On resume the task
 	// is not retried: a poison task stays quarantined across restarts.
 	KindFailed Kind = 2
+	// KindJobSpec records a job's admission into the job service: the
+	// payload is the service's encoding of the full job spec (kernel,
+	// weight, budgets, every task's input bytes), written before Submit
+	// returns, so a restarted service re-queues exactly what was admitted.
+	KindJobSpec Kind = 3
+	// KindJobDone records a job reaching a terminal state; the payload is
+	// the service's completion summary. A job with a spec record and no
+	// done record was queued or running when the process died and must be
+	// resumed.
+	KindJobDone Kind = 4
 )
 
-func (k Kind) valid() bool { return k == KindResult || k == KindFailed }
+func (k Kind) valid() bool {
+	return k == KindResult || k == KindFailed || k == KindJobSpec || k == KindJobDone
+}
 
 // Record is one per-task log entry.
 type Record struct {
@@ -54,6 +66,15 @@ type Store interface {
 	Append(rec Record) error
 	// Load returns every stored record for job, in append order.
 	Load(job string) ([]Record, error)
+	// LoadAll returns every stored record across all jobs, in append
+	// order — the job service's recovery scan.
+	LoadAll() ([]Record, error)
+	// Compact durably rewrites the store keeping only records for which
+	// keep returns true, reclaiming the space of completed jobs. Records
+	// that survive keep their relative order. Append/Load remain correct
+	// after a Compact, and a crash during compaction must leave either
+	// the old contents or the new — never a torn mixture.
+	Compact(keep func(Record) bool) error
 	// Close releases the store's resources.
 	Close() error
 }
@@ -91,6 +112,31 @@ func (m *Mem) Load(job string) ([]Record, error) {
 		}
 	}
 	return out, nil
+}
+
+// LoadAll returns every record in append order.
+func (m *Mem) LoadAll() ([]Record, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]Record(nil), m.recs...), nil
+}
+
+// Compact drops records keep rejects.
+func (m *Mem) Compact(keep func(Record) bool) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	kept := m.recs[:0]
+	for _, rec := range m.recs {
+		if keep(rec) {
+			kept = append(kept, rec)
+		}
+	}
+	// Zero the tail so dropped payloads become collectable.
+	for i := len(kept); i < len(m.recs); i++ {
+		m.recs[i] = Record{}
+	}
+	m.recs = kept
+	return nil
 }
 
 // Close is a no-op for the in-memory store.

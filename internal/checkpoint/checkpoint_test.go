@@ -175,6 +175,88 @@ func TestWALRejectsCorruptRecordAndForeignFile(t *testing.T) {
 	}
 }
 
+func TestWALCompactDropsDeadJobsAndSurvivesReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "compact.wal")
+	w, err := OpenWAL(path)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	// Two completed jobs' task records interleaved with a live job's.
+	appendAll := func(recs ...Record) {
+		t.Helper()
+		for _, rec := range recs {
+			if err := w.Append(rec); err != nil {
+				t.Fatalf("append: %v", err)
+			}
+		}
+	}
+	appendAll(
+		Record{Job: "done-1", Kind: KindJobSpec, Payload: []byte("spec1")},
+		Record{Job: "live", Kind: KindJobSpec, Payload: []byte("spec-live")},
+		Record{Job: "done-1", Task: 0, Kind: KindResult, Payload: []byte("d1r0")},
+		Record{Job: "live", Task: 0, Kind: KindResult, Payload: []byte("lr0")},
+		Record{Job: "done-1", Kind: KindJobDone, Payload: []byte("summary1")},
+		Record{Job: "done-2", Kind: KindJobSpec, Payload: []byte("spec2")},
+		Record{Job: "done-2", Task: 0, Kind: KindFailed, Attempts: 3, Payload: []byte("poison")},
+		Record{Job: "done-2", Kind: KindJobDone, Payload: []byte("summary2")},
+	)
+	before := w.Records()
+	// Keep live jobs whole; completed jobs shrink to their summaries.
+	done := map[string]bool{"done-1": true, "done-2": true}
+	if err := w.Compact(func(rec Record) bool {
+		return !done[rec.Job] || rec.Kind == KindJobDone
+	}); err != nil {
+		t.Fatalf("compact: %v", err)
+	}
+	if got := w.Records(); got != 4 {
+		t.Fatalf("Records after compact = %d (was %d), want 4", got, before)
+	}
+	// Appends after compaction land on a clean frame boundary.
+	if err := w.Append(Record{Job: "live", Task: 1, Kind: KindResult, Payload: []byte("lr1")}); err != nil {
+		t.Fatalf("append after compact: %v", err)
+	}
+	w.Close()
+
+	w2, err := OpenWAL(path)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer w2.Close()
+	live, _ := w2.Load("live")
+	if len(live) != 3 || string(live[2].Payload) != "lr1" {
+		t.Fatalf("live job after compact+reopen = %+v", live)
+	}
+	d1, _ := w2.Load("done-1")
+	if len(d1) != 1 || d1[0].Kind != KindJobDone || string(d1[0].Payload) != "summary1" {
+		t.Fatalf("done-1 after compact = %+v, want only the summary", d1)
+	}
+	all, _ := w2.LoadAll()
+	if len(all) != 5 {
+		t.Fatalf("LoadAll after reopen = %d records, want 5", len(all))
+	}
+	// Relative order of survivors is preserved.
+	if all[0].Job != "live" || all[0].Kind != KindJobSpec {
+		t.Fatalf("first surviving record = %+v, want live's spec", all[0])
+	}
+}
+
+func TestMemCompactAndLoadAll(t *testing.T) {
+	m := NewMem()
+	for _, rec := range testRecords() {
+		if err := m.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m.Compact(func(rec Record) bool { return rec.Job == "job-a" }); err != nil {
+		t.Fatal(err)
+	}
+	all, err := m.LoadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertJobA(t, all)
+}
+
 func TestDecodeRecordsStopsAtGarbage(t *testing.T) {
 	var stream []byte
 	stream = append(stream, EncodeRecord(Record{Job: "j", Task: 7, Kind: KindResult, Payload: []byte("x")})...)

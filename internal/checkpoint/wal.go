@@ -90,6 +90,7 @@ func DecodeRecords(b []byte) (recs []Record, n int) {
 // WAL is the file-backed Store.
 type WAL struct {
 	mu   sync.Mutex
+	path string
 	f    *os.File
 	recs []Record // every valid record in the file, all jobs
 }
@@ -106,7 +107,7 @@ func OpenWAL(path string) (*WAL, error) {
 	if err != nil {
 		return nil, fmt.Errorf("checkpoint: open WAL: %w", err)
 	}
-	w := &WAL{f: f}
+	w := &WAL{path: path, f: f}
 	if len(data) == 0 {
 		if _, err := f.Write([]byte(WALMagic)); err != nil {
 			f.Close()
@@ -172,6 +173,67 @@ func (w *WAL) Load(job string) ([]Record, error) {
 		}
 	}
 	return out, nil
+}
+
+// LoadAll returns every record in the WAL, all jobs, in append order.
+func (w *WAL) LoadAll() ([]Record, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return append([]Record(nil), w.recs...), nil
+}
+
+// Compact rewrites the WAL keeping only records keep accepts: an
+// append-only registry under a long-running job service would otherwise
+// grow without bound as jobs complete. The surviving records are written
+// to a sibling temp file (magic + records, fsynced) which is renamed over
+// the WAL path — the same atomicity the torn-tail scan relies on: a crash
+// anywhere during compaction leaves either the complete old file or the
+// complete new one. The open handle switches to the new file under the
+// store mutex, so concurrent Append/Load see a clean cutover.
+func (w *WAL) Compact(keep func(Record) bool) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return fmt.Errorf("checkpoint: WAL is closed")
+	}
+	kept := make([]Record, 0, len(w.recs))
+	for _, rec := range w.recs {
+		if keep(rec) {
+			kept = append(kept, rec)
+		}
+	}
+	if len(kept) == len(w.recs) {
+		return nil // nothing to reclaim
+	}
+	tmpPath := w.path + ".compact"
+	tmp, err := os.OpenFile(tmpPath, os.O_CREATE|os.O_TRUNC|os.O_RDWR, 0o644)
+	if err != nil {
+		return fmt.Errorf("checkpoint: compact WAL: %w", err)
+	}
+	buf := []byte(WALMagic)
+	for _, rec := range kept {
+		buf = append(buf, EncodeRecord(rec)...)
+	}
+	if _, err := tmp.Write(buf); err != nil {
+		tmp.Close()
+		os.Remove(tmpPath)
+		return fmt.Errorf("checkpoint: compact WAL write: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmpPath)
+		return fmt.Errorf("checkpoint: compact WAL sync: %w", err)
+	}
+	if err := os.Rename(tmpPath, w.path); err != nil {
+		tmp.Close()
+		os.Remove(tmpPath)
+		return fmt.Errorf("checkpoint: compact WAL rename: %w", err)
+	}
+	old := w.f
+	w.f = tmp
+	w.recs = kept
+	old.Close()
+	return nil
 }
 
 // Records reports how many records the WAL holds across all jobs.

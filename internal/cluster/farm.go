@@ -147,6 +147,14 @@ func farmWorker(n *Node, fn FarmFn) error {
 	for {
 		m, err := n.Comm.Recv(0, farmTaskTag)
 		if err != nil {
+			if errors.Is(err, mpi.ErrRankLost) {
+				// The master stopped acknowledging us — it has retired this
+				// worker (we were paused or partitioned) or died. Either
+				// way the job's outcome is decided master-side; exiting the
+				// task loop quietly keeps a zombie worker from aborting a
+				// session that already wrote us off.
+				return nil
+			}
 			return err
 		}
 		r := serial.NewReader(m.Payload)
@@ -169,6 +177,9 @@ func farmWorker(n *Node, fn FarmFn) error {
 			w.RawBytes(out)
 		}
 		if err := n.Comm.Send(0, farmResultTag, w.Bytes()); err != nil {
+			if errors.Is(err, mpi.ErrRankLost) {
+				return nil // retired mid-reply: same quiet exit as above
+			}
 			return err
 		}
 	}

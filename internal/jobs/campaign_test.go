@@ -1,0 +1,57 @@
+package jobs
+
+import (
+	"strings"
+	"testing"
+)
+
+// The CI chaos-campaign gate: a small deterministic instance of the full
+// acceptance scenario — 8 concurrent jobs (one poison-heavy) on a 2%-fault
+// fabric, the master killed twice mid-flight and resumed from the WAL
+// bit-identically with no task re-executed, a small job unharmed by 10×
+// tenants, and the admission high-water mark rejecting fast. RunCampaign
+// enforces every gate internally; the test pins the report's shape on top.
+func TestChaosCampaignGate(t *testing.T) {
+	rep, err := RunCampaign(CampaignConfig{
+		WALDir: t.TempDir(),
+		Logf:   t.Logf,
+	})
+	if err != nil {
+		t.Fatalf("campaign failed: %v\nreport so far: %+v", err, rep)
+	}
+	if rep.Jobs != 8 || rep.Tasks != 96 {
+		t.Fatalf("campaign sized %d jobs / %d tasks, want 8/96", rep.Jobs, rep.Tasks)
+	}
+	if rep.Kills < 1 {
+		t.Fatalf("no mid-flight master kill landed: %+v", rep)
+	}
+	if rep.RecoveredSettled < 1 {
+		t.Fatalf("first resume recovered no settled tasks: %+v", rep)
+	}
+	if rep.DegradedJobs != 1 || rep.Quarantined != 4 {
+		t.Fatalf("degradation report = %d jobs / %d quarantined, want 1/4", rep.DegradedJobs, rep.Quarantined)
+	}
+	if rep.AdmissionLimit != 8 || rep.AdmissionDepth != 8 {
+		t.Fatalf("admission probe = depth %d / limit %d, want 8/8", rep.AdmissionDepth, rep.AdmissionLimit)
+	}
+	if rep.Records != rep.WantRecords {
+		t.Fatalf("registry %d records, want %d", rep.Records, rep.WantRecords)
+	}
+	if rep.SmallMS <= 0 || rep.SmallMS > rep.WaitBoundMS {
+		t.Fatalf("fairness timings out of bounds: %+v", rep)
+	}
+	out := rep.String()
+	for _, want := range []string{"chaos campaign", "resume:", "admission:", "fairness:"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report rendering missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// A campaign without a WAL directory must refuse to run rather than
+// silently use a volatile store (the resume gate would be meaningless).
+func TestCampaignRequiresWALDir(t *testing.T) {
+	if _, err := RunCampaign(CampaignConfig{}); err == nil {
+		t.Fatal("campaign ran without a WAL directory")
+	}
+}

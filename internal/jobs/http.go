@@ -1,0 +1,124 @@
+package jobs
+
+import (
+	"encoding/base64"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// HTTP surface for the job service (triolet-bench -serve):
+//
+//	GET  /jobs            → []JobStatus (admission order)
+//	GET  /jobs/{name}     → JobStatus, 404 for unknown names
+//	POST /jobs            → submit a specJSON body; 201, or 409 (duplicate),
+//	                        429 (admission queue full), 503 (stopped)
+//	GET  /metrics         → Snapshot
+//
+// Task payloads cross the HTTP boundary base64-encoded — they are arbitrary
+// kernel input bytes, not text.
+
+// specJSON is the POST /jobs request body.
+type specJSON struct {
+	Name            string   `json:"name"`
+	Kernel          string   `json:"kernel"`
+	Tasks           []string `json:"tasks"` // base64 payloads
+	Weight          int      `json:"weight,omitempty"`
+	MaxTaskAttempts int      `json:"max_task_attempts,omitempty"`
+	RetryBudget     int      `json:"retry_budget,omitempty"`
+	TaskTimeoutMS   int      `json:"task_timeout_ms,omitempty"`
+}
+
+func (sj specJSON) toSpec() (Spec, error) {
+	sp := Spec{
+		Name:            sj.Name,
+		Kernel:          sj.Kernel,
+		Weight:          sj.Weight,
+		MaxTaskAttempts: sj.MaxTaskAttempts,
+		RetryBudget:     sj.RetryBudget,
+		TaskTimeout:     time.Duration(sj.TaskTimeoutMS) * time.Millisecond,
+	}
+	for i, enc := range sj.Tasks {
+		raw, err := base64.StdEncoding.DecodeString(enc)
+		if err != nil {
+			return Spec{}, fmt.Errorf("task %d: %w", i, err)
+		}
+		sp.Tasks = append(sp.Tasks, raw)
+	}
+	return sp, nil
+}
+
+// Handler returns the service's HTTP API.
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/jobs", func(w http.ResponseWriter, r *http.Request) {
+		switch r.Method {
+		case http.MethodGet:
+			writeJSON(w, http.StatusOK, s.Jobs())
+		case http.MethodPost:
+			s.handleSubmit(w, r)
+		default:
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		}
+	})
+	mux.HandleFunc("/jobs/", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		name := strings.TrimPrefix(r.URL.Path, "/jobs/")
+		st, ok := s.Job(name)
+		if !ok {
+			http.Error(w, fmt.Sprintf("unknown job %q", name), http.StatusNotFound)
+			return
+		}
+		writeJSON(w, http.StatusOK, st)
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		writeJSON(w, http.StatusOK, s.Metrics())
+	})
+	return mux
+}
+
+func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var sj specJSON
+	if err := json.NewDecoder(r.Body).Decode(&sj); err != nil {
+		http.Error(w, fmt.Sprintf("bad spec: %v", err), http.StatusBadRequest)
+		return
+	}
+	sp, err := sj.toSpec()
+	if err != nil {
+		http.Error(w, fmt.Sprintf("bad spec: %v", err), http.StatusBadRequest)
+		return
+	}
+	switch err := s.Submit(sp); {
+	case err == nil:
+		st, _ := s.Job(sp.Name)
+		writeJSON(w, http.StatusCreated, st)
+	case errors.Is(err, ErrQueueFull):
+		// Backpressure as a status code: the typed AdmissionError body
+		// tells the client the depth it hit.
+		http.Error(w, err.Error(), http.StatusTooManyRequests)
+	case errors.Is(err, ErrDuplicate):
+		http.Error(w, err.Error(), http.StatusConflict)
+	case errors.Is(err, ErrStopped):
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+	default:
+		http.Error(w, err.Error(), http.StatusBadRequest)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}

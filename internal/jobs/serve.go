@@ -1,0 +1,388 @@
+package jobs
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"triolet/internal/checkpoint"
+	"triolet/internal/cluster"
+)
+
+// servePoll is the idle backoff of the serve loop (wall clock: it paces the
+// real scheduler; all protocol deadlines — task timeouts, retry backoff —
+// are measured on the fabric clock).
+const servePoll = 100 * time.Microsecond
+
+// Serve attaches the service to a cluster session and runs jobs until the
+// context is cancelled (a crash, from the registry's point of view: nothing
+// is flushed, resume happens on the next NewService over the same store) or
+// Stop has been called and every admitted job is terminal (graceful drain).
+// Serve owns the Mux and all dispatching; there is at most one Serve per
+// service at a time, running in the cluster master goroutine.
+func (s *Service) Serve(ctx context.Context, sess *cluster.Session) error {
+	mux, err := sess.OpenMux(cluster.MuxOptions{HeartbeatTimeout: s.cfg.HeartbeatTimeout})
+	if err != nil {
+		return err
+	}
+	defer func() {
+		s.mu.Lock()
+		s.serving = false
+		s.mu.Unlock()
+		mux.Close() // on a cancelled context the stop frames fail tolerably
+	}()
+	clk := sess.Fabric().Clock()
+	s.mu.Lock()
+	s.serving = true
+	// A job whose last task records reached the registry but whose summary
+	// did not (a crash in the gap) finishes now, without re-execution.
+	settled := make([]*job, 0)
+	for _, name := range s.order {
+		j := s.jobs[name]
+		if !j.state.Terminal() && j.settled() == len(j.spec.Tasks) {
+			settled = append(settled, j)
+		}
+	}
+	s.mu.Unlock()
+	for _, j := range settled {
+		s.mu.Lock()
+		if err := s.maybeCompleteLocked(j); err != nil {
+			return err
+		}
+	}
+
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		progress := false
+
+		// Drain every pending Mux observation.
+		for {
+			ev, ok, perr := mux.Poll()
+			if perr != nil {
+				return perr
+			}
+			if !ok {
+				break
+			}
+			progress = true
+			if herr := s.handleEvent(ev, clk.Now()); herr != nil {
+				return herr
+			}
+		}
+
+		// Reassign attempts that outlived their per-job task timeout.
+		s.sweepTimeouts(clk.Now())
+
+		// Fair-share dispatch onto idle, non-draining workers.
+		n, derr := s.dispatch(ctx, mux, clk.Now())
+		if derr != nil {
+			return derr
+		}
+		progress = progress || n > 0
+
+		// Master fallback: with every worker retired the master executes
+		// one ready task per iteration itself — degraded throughput, but
+		// jobs still reach a terminal state.
+		if mux.Workers() == 0 {
+			ranLocal, lerr := s.runLocalOnce(mux, clk.Now())
+			if lerr != nil {
+				return lerr
+			}
+			progress = progress || ranLocal
+		}
+
+		s.mu.Lock()
+		s.workers = mux.Workers()
+		s.draining = s.draining[:0]
+		for _, w := range mux.Idle() {
+			if s.drainingLocked(w) {
+				s.draining = append(s.draining, w)
+			}
+		}
+		stopNow := s.stopped && s.liveLocked() == 0
+		s.mu.Unlock()
+		if stopNow {
+			return nil
+		}
+		if !progress {
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(servePoll):
+			}
+		}
+	}
+}
+
+// dispatch runs one scheduling round and ships the plan. The plan is built
+// and recorded under the service mutex; the sends happen outside it so a
+// slow acknowledged send does not block Submit or the status surface.
+func (s *Service) dispatch(ctx context.Context, mux *cluster.Mux, now time.Time) (int, error) {
+	s.mu.Lock()
+	idle := s.usableWorkers(mux.Idle())
+	plan := s.schedule(now, idle)
+	for _, p := range plan {
+		p.job.inflight[p.task] = inflight{worker: p.worker, start: now}
+		p.job.bytesIn += int64(len(p.job.spec.Tasks[p.task]))
+		if p.job.state == Queued {
+			p.job.state = Running
+		}
+	}
+	s.mu.Unlock()
+	for _, p := range plan {
+		a := cluster.MuxAssignment{
+			Job:     p.job.spec.Name,
+			Kernel:  p.job.spec.Kernel,
+			Task:    p.task,
+			Payload: p.job.spec.Tasks[p.task],
+		}
+		// A send to a worker that died retires it inside Assign and the
+		// assignment returns through a MuxWorkerLost event for requeueing.
+		if err := mux.Assign(ctx, p.worker, a); err != nil {
+			return 0, fmt.Errorf("jobs: dispatch %q/%d: %w", a.Job, a.Task, err)
+		}
+	}
+	return len(plan), nil
+}
+
+// runLocalOnce executes one ready task on the master (no-workers fallback).
+func (s *Service) runLocalOnce(mux *cluster.Mux, now time.Time) (bool, error) {
+	s.mu.Lock()
+	plan := s.schedule(now, []int{0})
+	var a cluster.MuxAssignment
+	if len(plan) == 1 {
+		p := plan[0]
+		p.job.inflight[p.task] = inflight{worker: 0, start: now}
+		p.job.bytesIn += int64(len(p.job.spec.Tasks[p.task]))
+		if p.job.state == Queued {
+			p.job.state = Running
+		}
+		a = cluster.MuxAssignment{
+			Job:     p.job.spec.Name,
+			Kernel:  p.job.spec.Kernel,
+			Task:    p.task,
+			Payload: p.job.spec.Tasks[p.task],
+		}
+	}
+	s.mu.Unlock()
+	if a.Job == "" {
+		return false, nil
+	}
+	ev := mux.RunLocal(a)
+	return true, s.handleEvent(ev, now)
+}
+
+// sweepTimeouts requeues attempts whose fabric-clock age exceeds their
+// job's TaskTimeout. The slow rank keeps its Mux liveness (it may just be
+// overloaded) but pays a health penalty, and the task runs elsewhere; if
+// the original attempt's result arrives later anyway it is deduplicated.
+func (s *Service) sweepTimeouts(now time.Time) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, name := range s.order {
+		j := s.jobs[name]
+		if j.state.Terminal() || j.spec.TaskTimeout <= 0 {
+			continue
+		}
+		for task, fl := range j.inflight {
+			if now.Sub(fl.start) <= j.spec.TaskTimeout {
+				continue
+			}
+			delete(j.inflight, task)
+			j.requeueFront(task)
+			j.retriesUsed++
+			s.noteWorkerFailure(fl.worker)
+		}
+	}
+}
+
+// handleEvent applies one Mux observation to the job table.
+func (s *Service) handleEvent(ev cluster.MuxEvent, now time.Time) error {
+	switch ev.Kind {
+	case cluster.MuxWorkerLost:
+		s.mu.Lock()
+		for _, a := range ev.Requeued {
+			j, ok := s.jobs[a.Job]
+			if !ok || j.state.Terminal() {
+				continue
+			}
+			if _, settledC := j.completed[a.Task]; settledC {
+				continue
+			}
+			if _, settledF := j.failed[a.Task]; settledF {
+				continue
+			}
+			// Losing the worker is not the task's fault: reassign without
+			// burning an attempt, at the head of the queue.
+			if fl, infl := j.inflight[a.Task]; infl && fl.worker == ev.Worker {
+				delete(j.inflight, a.Task)
+				j.requeueFront(a.Task)
+			}
+		}
+		delete(s.health, ev.Worker)
+		s.mu.Unlock()
+		return nil
+	case cluster.MuxTaskDone:
+		return s.handleTaskDone(ev, now)
+	default:
+		return fmt.Errorf("jobs: unknown mux event kind %d", ev.Kind)
+	}
+}
+
+// handleTaskDone settles one execution outcome: checkpoint-then-count for
+// successes, the degradation ladder for failures, dedup for late arrivals.
+func (s *Service) handleTaskDone(ev cluster.MuxEvent, now time.Time) error {
+	s.mu.Lock()
+	j, known := s.jobs[ev.Job]
+	if !known {
+		s.mu.Unlock()
+		return fmt.Errorf("jobs: result for unknown job %q", ev.Job)
+	}
+	if ev.Task < 0 || ev.Task >= len(j.spec.Tasks) {
+		s.mu.Unlock()
+		return fmt.Errorf("jobs: result for %q task %d out of range", ev.Job, ev.Task)
+	}
+	_, doneAlready := j.completed[ev.Task]
+	_, failedAlready := j.failed[ev.Task]
+	if j.state.Terminal() || doneAlready || failedAlready {
+		// A duplicate or a late arrival from a timed-out / retired-but-
+		// alive worker: the first settlement stands.
+		s.mu.Unlock()
+		return nil
+	}
+	if fl, infl := j.inflight[ev.Task]; infl && fl.worker == ev.Worker {
+		delete(j.inflight, ev.Task)
+	}
+	j.taskSeconds += ev.Elapsed
+
+	if ev.OK {
+		if ev.Worker != 0 {
+			s.noteWorkerSuccess(ev.Worker)
+		}
+		j.bytesOut += int64(len(ev.Result))
+		s.mu.Unlock()
+		// Write-ahead: the result record must be durable before the task
+		// counts as done — the same rule as the single farm.
+		if err := s.cfg.Store.Append(checkpoint.Record{
+			Job: ev.Job, Task: ev.Task, Kind: checkpoint.KindResult, Payload: ev.Result,
+		}); err != nil {
+			return fmt.Errorf("jobs: checkpoint %q/%d: %w", ev.Job, ev.Task, err)
+		}
+		s.mu.Lock()
+		j.completed[ev.Task] = ev.Result
+		j.pending = removeTask(j.pending, ev.Task)
+		delete(j.notBefore, ev.Task)
+		return s.maybeCompleteLocked(j)
+	}
+
+	// Failure: climb the degradation ladder.
+	if ev.Worker != 0 {
+		s.noteWorkerFailure(ev.Worker)
+	}
+	j.attempts[ev.Task]++
+	attempts := j.attempts[ev.Task]
+	if attempts < j.spec.MaxTaskAttempts && j.retriesUsed < j.spec.RetryBudget {
+		// Rung 1: retry elsewhere after seeded exponential backoff.
+		j.retriesUsed++
+		if !contains(j.pending, ev.Task) {
+			j.pending = append(j.pending, ev.Task)
+		}
+		j.notBefore[ev.Task] = now.Add(s.failureBackoff(attempts))
+		s.mu.Unlock()
+		return nil
+	}
+	// Final rung: quarantine (write-ahead, like results) and let the job
+	// complete degraded with a partial-result report.
+	s.mu.Unlock()
+	if err := s.cfg.Store.Append(checkpoint.Record{
+		Job: ev.Job, Task: ev.Task, Kind: checkpoint.KindFailed,
+		Attempts: attempts, Payload: []byte(ev.Err),
+	}); err != nil {
+		return fmt.Errorf("jobs: checkpoint quarantine %q/%d: %w", ev.Job, ev.Task, err)
+	}
+	s.mu.Lock()
+	j.failed[ev.Task] = ev.Err
+	j.pending = removeTask(j.pending, ev.Task)
+	delete(j.notBefore, ev.Task)
+	return s.maybeCompleteLocked(j)
+}
+
+func contains(xs []int, x int) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+// maybeCompleteLocked finishes a job whose every task is settled: state,
+// durable summary, waiter wakeup, and (optionally) registry compaction.
+// Called with s.mu held; releases and reacquires it around store writes and
+// returns with it released.
+func (s *Service) maybeCompleteLocked(j *job) error {
+	if j.state.Terminal() || j.settled() < len(j.spec.Tasks) {
+		s.mu.Unlock()
+		return nil
+	}
+	state := Done
+	if len(j.failed) > 0 {
+		state = Degraded
+	}
+	sum := doneSummary{
+		state:       state,
+		completed:   len(j.completed),
+		failed:      len(j.failed),
+		retriesUsed: j.retriesUsed,
+		taskSeconds: j.taskSeconds,
+		resultCRC:   resultCRC(len(j.spec.Tasks), j.completed),
+	}
+	name := j.spec.Name
+	s.mu.Unlock()
+	// The summary is written before the state flips: a crash here resumes
+	// the job as live (its last tasks re-settle from their checkpointed
+	// records without re-execution), never as half-finished.
+	if err := s.cfg.Store.Append(checkpoint.Record{
+		Job: name, Kind: checkpoint.KindJobDone, Payload: encodeDone(sum),
+	}); err != nil {
+		return fmt.Errorf("jobs: record completion of %q: %w", name, err)
+	}
+	s.mu.Lock()
+	j.state = state
+	for task := range j.inflight {
+		delete(j.inflight, task)
+	}
+	close(j.done)
+	s.completedSinceCompact++
+	compact := s.cfg.CompactEvery > 0 && s.completedSinceCompact >= s.cfg.CompactEvery
+	if compact {
+		s.completedSinceCompact = 0
+	}
+	known := map[string]bool{}
+	live := map[string]bool{}
+	if compact {
+		for n2, j2 := range s.jobs {
+			known[n2] = true
+			if !j2.state.Terminal() {
+				live[n2] = true
+			}
+		}
+	}
+	s.mu.Unlock()
+	if !compact {
+		return nil
+	}
+	// Shrink terminal jobs to their summary record alone — the spec (which
+	// holds every task input) and the per-task results are what compaction
+	// reclaims. Live jobs stay whole, and records the service does not
+	// recognize (a farm checkpoint sharing the store) are kept untouched.
+	err := s.cfg.Store.Compact(func(rec checkpoint.Record) bool {
+		return !known[rec.Job] || live[rec.Job] || rec.Kind == checkpoint.KindJobDone
+	})
+	if err != nil {
+		return fmt.Errorf("jobs: registry compaction: %w", err)
+	}
+	return nil
+}

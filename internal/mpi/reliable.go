@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand"
 	"sync"
 	"time"
 
@@ -83,6 +84,19 @@ type ReliableConfig struct {
 	Backoff float64
 	// MaxAckTimeout caps the backed-off timeout (default 250ms).
 	MaxAckTimeout time.Duration
+	// BackoffJitter spreads each attempt's ack deadline by up to this
+	// fraction of the timeout, drawn from a seeded per-rank stream
+	// (default 0.2; negative disables). Without it, every rank blocked on
+	// the same event hits the shared ack-timeout floor in the same poll
+	// window and retransmits in lockstep — a synchronized retransmit storm
+	// that re-congests the fabric exactly when it is weakest. Jitter is
+	// strictly additive, so the round-trip floor that keeps simulated
+	// latency from reading as loss is never undercut, and the jittered
+	// deadline is still measured on the fabric clock.
+	BackoffJitter float64
+	// JitterSeed seeds the jitter stream; the rank is mixed in, so ranks
+	// sharing a config (the SPMD default) still draw divergent jitter.
+	JitterSeed int64
 	// RecvTimeout bounds a blocking receive; 0 waits forever. Receives
 	// from a specific rank fail fast regardless when the fabric reports
 	// that rank crashed.
@@ -120,6 +134,12 @@ func (cfg ReliableConfig) withDefaults() ReliableConfig {
 	}
 	if cfg.MaxAckTimeout <= 0 {
 		cfg.MaxAckTimeout = 250 * time.Millisecond
+	}
+	if cfg.BackoffJitter == 0 {
+		cfg.BackoffJitter = 0.2
+	}
+	if cfg.BackoffJitter < 0 {
+		cfg.BackoffJitter = 0
 	}
 	if cfg.PollInterval <= 0 {
 		cfg.PollInterval = 100 * time.Microsecond
@@ -166,6 +186,9 @@ type reliable struct {
 	// timeout behavior follows simulated fabric time and tests can pin it
 	// with an injected clock. Never call time.Now here.
 	clk transport.Clock
+	// rng draws retransmit-backoff jitter: seeded (JitterSeed ⊕ rank), so
+	// a run replays identically while ranks desynchronize. Guarded by mu.
+	rng *rand.Rand
 
 	mu      sync.Mutex
 	nextSeq []uint64               // per dst: next sequence number to assign
@@ -189,6 +212,7 @@ func newReliable(c *Comm, cfg ReliableConfig) *reliable {
 		c:         c,
 		cfg:       cfg,
 		clk:       c.f.Clock(),
+		rng:       rand.New(rand.NewSource(cfg.JitterSeed*0x9E3779B9 + int64(c.Rank())*0x85EBCA6B + 1)),
 		nextSeq:   make([]uint64, n),
 		acked:     make([]map[uint64]struct{}, n),
 		expect:    make([]uint64, n),
@@ -569,7 +593,7 @@ func (r *reliable) send(ctx context.Context, dst, tag int, payload []byte, share
 		r.mu.Lock()
 		r.stats.FramesSent++
 		r.mu.Unlock()
-		deadline := r.clk.Now().Add(timeout)
+		deadline := r.clk.Now().Add(r.jitter(timeout))
 		for {
 			r.mu.Lock()
 			if _, ok := r.acked[dst][seq]; ok {
@@ -608,6 +632,21 @@ func (r *reliable) send(ctx context.Context, dst, tag int, payload []byte, share
 
 // errAckedSentinel is an internal control-flow marker, never returned.
 var errAckedSentinel = errors.New("mpi: internal ack sentinel")
+
+// jitter stretches one attempt's ack timeout by a seeded random fraction in
+// [0, BackoffJitter). Strictly additive: the result is never below d, so the
+// round-trip floor computed by send holds for every attempt. The draw is the
+// only randomness in the protocol and comes from the per-rank seeded stream,
+// keeping runs replayable.
+func (r *reliable) jitter(d time.Duration) time.Duration {
+	if r.cfg.BackoffJitter <= 0 {
+		return d
+	}
+	r.mu.Lock()
+	u := r.rng.Float64()
+	r.mu.Unlock()
+	return d + time.Duration(float64(d)*r.cfg.BackoffJitter*u)
+}
 
 // buildDataFrame encodes one data message, piggybacking dst's pending acks
 // and beats into a coalesced frame when there are any — they ride for free

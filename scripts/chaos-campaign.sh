@@ -1,0 +1,24 @@
+#!/usr/bin/env sh
+# Chaos-campaign gate: the multi-tenant job service's acceptance scenario,
+# run twice — once as the -race test gate (TestChaosCampaignGate: 8
+# concurrent jobs, one poison-heavy, 2% drop/dup/corrupt fabric, the master
+# killed twice mid-flight and resumed bit-identically from the WAL with no
+# task re-executed, fairness and admission probes), then once through the
+# triolet-bench -campaign command so the operator-facing entry point stays
+# wired to the same gates. Sizes are overridable for the nightly full-size
+# run: CAMPAIGN_JOBS, CAMPAIGN_TASKS, CAMPAIGN_KILLS.
+set -eu
+
+ROOT=$(cd "$(dirname "$0")/.." && pwd)
+cd "$ROOT"
+
+echo "chaos-campaign: race-detector gate test"
+go test -race -count=1 -timeout 10m -run 'ChaosCampaign|Campaign' ./internal/jobs/
+
+echo "chaos-campaign: triolet-bench -campaign"
+go run ./cmd/triolet-bench -campaign \
+    -campaign-jobs "${CAMPAIGN_JOBS:-8}" \
+    -campaign-tasks "${CAMPAIGN_TASKS:-12}" \
+    -campaign-kills "${CAMPAIGN_KILLS:-2}"
+
+echo "chaos-campaign: pass"
