@@ -202,6 +202,11 @@ type inflight struct {
 type job struct {
 	spec  Spec
 	state State
+	// recorded reports that the job's admission record is durable in the
+	// registry. Until then the job is invisible to the scheduler (ready()
+	// returns false), so a failed Submit can roll the slot back with
+	// nothing in flight — see Submit.
+	recorded bool
 	// pending holds task indices awaiting dispatch, in queue order.
 	pending []int
 	// notBefore maps a pending task to its backoff release time (fabric
@@ -299,7 +304,9 @@ func (s *Service) recover() error {
 			if _, dup := s.jobs[rec.Job]; dup {
 				return fmt.Errorf("jobs: registry: duplicate spec for %q", rec.Job)
 			}
-			s.jobs[rec.Job] = newJob(sp)
+			j := newJob(sp)
+			j.recorded = true // the spec record is what we just read
+			s.jobs[rec.Job] = j
 			s.order = append(s.order, rec.Job)
 		case checkpoint.KindResult:
 			j, ok := s.jobs[rec.Job]
@@ -334,6 +341,7 @@ func (s *Service) recover() error {
 				// tombstone — the name stays reserved and the status surface
 				// keeps reporting the outcome, but Result() is empty.
 				j = newJob(Spec{Name: rec.Job, Tasks: make([][]byte, sum.completed+sum.failed)})
+				j.recorded = true
 				j.pending = nil
 				s.jobs[rec.Job] = j
 				s.order = append(s.order, rec.Job)
@@ -379,8 +387,11 @@ func (s *Service) Submit(sp Spec) error {
 		return &AdmissionError{Job: sp.Name, Depth: depth, Limit: s.cfg.MaxQueued}
 	}
 	// Reserve the slot before the store write so concurrent submitters
-	// cannot both pass the high-water check; the record is appended before
-	// the job becomes schedulable.
+	// cannot both pass the high-water check. The job enters the table
+	// unrecorded: ready() hides it from a concurrently running Serve loop
+	// until the spec record is durable, so nothing can be in flight if the
+	// append fails and the slot is rolled back (the crash-resume invariant:
+	// no task ever executes for a job without a durable admission record).
 	j := newJob(sp)
 	s.jobs[sp.Name] = j
 	s.order = append(s.order, sp.Name)
@@ -395,8 +406,12 @@ func (s *Service) Submit(sp Spec) error {
 		delete(s.jobs, sp.Name)
 		s.order = removeName(s.order, sp.Name)
 		s.mu.Unlock()
+		close(j.done) // release any waiter that raced the failed admission
 		return fmt.Errorf("jobs: record admission of %q: %w", sp.Name, err)
 	}
+	s.mu.Lock()
+	j.recorded = true
+	s.mu.Unlock()
 	return nil
 }
 

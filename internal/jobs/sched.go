@@ -20,12 +20,25 @@ import (
 // rank sheds load gracefully before the heartbeat sweep retires it. Scores
 // decay on success, so a recovered rank earns its way back.
 
+// settledTask reports whether task t already has a final per-task outcome.
+// A settled task must never dispatch again, whatever queue it strayed into.
+func (j *job) settledTask(t int) bool {
+	_, done := j.completed[t]
+	_, failed := j.failed[t]
+	return done || failed
+}
+
 // ready reports whether job j has a task dispatchable at fabric time now.
+// Unrecorded jobs (admission record not yet durable — see Submit) are never
+// ready.
 func (j *job) ready(now time.Time) bool {
-	if j.state.Terminal() {
+	if !j.recorded || j.state.Terminal() {
 		return false
 	}
 	for _, t := range j.pending {
+		if j.settledTask(t) {
+			continue
+		}
 		if rel, held := j.notBefore[t]; !held || !rel.After(now) {
 			return true
 		}
@@ -35,9 +48,17 @@ func (j *job) ready(now time.Time) bool {
 
 // nextReady pops the first dispatchable pending task, preserving queue
 // order for the rest. ok is false when every pending task is in backoff.
+// Settled tasks that strayed back into the queue are dropped, not returned.
 func (j *job) nextReady(now time.Time) (task int, ok bool) {
-	for i, t := range j.pending {
+	for i := 0; i < len(j.pending); {
+		t := j.pending[i]
+		if j.settledTask(t) {
+			j.pending = append(j.pending[:i], j.pending[i+1:]...)
+			delete(j.notBefore, t)
+			continue
+		}
 		if rel, held := j.notBefore[t]; held && rel.After(now) {
+			i++
 			continue
 		}
 		j.pending = append(j.pending[:i], j.pending[i+1:]...)

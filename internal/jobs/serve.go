@@ -73,7 +73,9 @@ func (s *Service) Serve(ctx context.Context, sess *cluster.Session) error {
 		}
 
 		// Reassign attempts that outlived their per-job task timeout.
-		s.sweepTimeouts(clk.Now())
+		if serr := s.sweepTimeouts(clk.Now()); serr != nil {
+			return serr
+		}
 
 		// Fair-share dispatch onto idle, non-draining workers.
 		n, derr := s.dispatch(ctx, mux, clk.Now())
@@ -174,13 +176,23 @@ func (s *Service) runLocalOnce(mux *cluster.Mux, now time.Time) (bool, error) {
 	return true, s.handleEvent(ev, now)
 }
 
-// sweepTimeouts requeues attempts whose fabric-clock age exceeds their
-// job's TaskTimeout. The slow rank keeps its Mux liveness (it may just be
-// overloaded) but pays a health penalty, and the task runs elsewhere; if
-// the original attempt's result arrives later anyway it is deduplicated.
-func (s *Service) sweepTimeouts(now time.Time) {
+// sweepTimeouts reaps attempts whose fabric-clock age exceeds their job's
+// TaskTimeout. The slow rank keeps its Mux liveness (it may just be
+// overloaded) but pays a health penalty, and a timeout counts as a failed
+// attempt on the same degradation ladder as handleTaskDone: retry elsewhere
+// after seeded backoff while attempts and budget remain, quarantine
+// (durably) when they run out — a task that hangs forever must still drive
+// its job to a terminal state instead of being reassigned without bound.
+// If the original attempt's result arrives later anyway it is deduplicated.
+func (s *Service) sweepTimeouts(now time.Time) error {
+	type quarantined struct {
+		j        *job
+		task     int
+		attempts int
+		msg      string
+	}
+	var quarantine []quarantined
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	for _, name := range s.order {
 		j := s.jobs[name]
 		if j.state.Terminal() || j.spec.TaskTimeout <= 0 {
@@ -191,11 +203,48 @@ func (s *Service) sweepTimeouts(now time.Time) {
 				continue
 			}
 			delete(j.inflight, task)
-			j.requeueFront(task)
-			j.retriesUsed++
+			if j.settledTask(task) {
+				// A stale entry: a late or concurrent result settled the
+				// task while this attempt was still nominally in flight.
+				// Nothing to redo, and the worker owes no penalty.
+				continue
+			}
 			s.noteWorkerFailure(fl.worker)
+			j.attempts[task]++
+			attempts := j.attempts[task]
+			if attempts < j.spec.MaxTaskAttempts && j.retriesUsed < j.spec.RetryBudget {
+				// Rung 1: the task keeps its place in line but waits out the
+				// same seeded exponential backoff as an explicit failure.
+				j.retriesUsed++
+				j.requeueFront(task)
+				j.notBefore[task] = now.Add(s.failureBackoff(attempts))
+				continue
+			}
+			quarantine = append(quarantine, quarantined{
+				j: j, task: task, attempts: attempts,
+				msg: fmt.Sprintf("task timed out after %v (attempt %d)", j.spec.TaskTimeout, attempts),
+			})
 		}
 	}
+	s.mu.Unlock()
+	// Final rung, outside the lock like every store write: quarantine is
+	// write-ahead, then the job may complete degraded.
+	for _, q := range quarantine {
+		if err := s.cfg.Store.Append(checkpoint.Record{
+			Job: q.j.spec.Name, Task: q.task, Kind: checkpoint.KindFailed,
+			Attempts: q.attempts, Payload: []byte(q.msg),
+		}); err != nil {
+			return fmt.Errorf("jobs: checkpoint timeout quarantine %q/%d: %w", q.j.spec.Name, q.task, err)
+		}
+		s.mu.Lock()
+		q.j.failed[q.task] = q.msg
+		q.j.pending = removeTask(q.j.pending, q.task)
+		delete(q.j.notBefore, q.task)
+		if err := s.maybeCompleteLocked(q.j); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // handleEvent applies one Mux observation to the job table.
@@ -208,18 +257,19 @@ func (s *Service) handleEvent(ev cluster.MuxEvent, now time.Time) error {
 			if !ok || j.state.Terminal() {
 				continue
 			}
-			if _, settledC := j.completed[a.Task]; settledC {
+			fl, infl := j.inflight[a.Task]
+			if !infl || fl.worker != ev.Worker {
 				continue
 			}
-			if _, settledF := j.failed[a.Task]; settledF {
+			// The attempt record is retired either way; a task that already
+			// settled (a late result beat the loss event) must not requeue.
+			delete(j.inflight, a.Task)
+			if j.settledTask(a.Task) {
 				continue
 			}
 			// Losing the worker is not the task's fault: reassign without
 			// burning an attempt, at the head of the queue.
-			if fl, infl := j.inflight[a.Task]; infl && fl.worker == ev.Worker {
-				delete(j.inflight, a.Task)
-				j.requeueFront(a.Task)
-			}
+			j.requeueFront(a.Task)
 		}
 		delete(s.health, ev.Worker)
 		s.mu.Unlock()
@@ -237,23 +287,28 @@ func (s *Service) handleTaskDone(ev cluster.MuxEvent, now time.Time) error {
 	s.mu.Lock()
 	j, known := s.jobs[ev.Job]
 	if !known {
+		// A stray frame for a job this service does not know (e.g. a
+		// submission rolled back after a failed registry append). Drop it:
+		// one late result must not kill the Serve loop for every tenant.
 		s.mu.Unlock()
-		return fmt.Errorf("jobs: result for unknown job %q", ev.Job)
+		return nil
 	}
 	if ev.Task < 0 || ev.Task >= len(j.spec.Tasks) {
 		s.mu.Unlock()
 		return fmt.Errorf("jobs: result for %q task %d out of range", ev.Job, ev.Task)
 	}
-	_, doneAlready := j.completed[ev.Task]
-	_, failedAlready := j.failed[ev.Task]
-	if j.state.Terminal() || doneAlready || failedAlready {
+	if fl, infl := j.inflight[ev.Task]; infl && fl.worker == ev.Worker {
+		// Retire this worker's attempt record even when the result below
+		// turns out to be a duplicate — otherwise a retry whose task was
+		// settled by a late first-attempt result leaves a stale inflight
+		// entry for sweepTimeouts to "time out" and re-dispatch forever.
+		delete(j.inflight, ev.Task)
+	}
+	if j.state.Terminal() || j.settledTask(ev.Task) {
 		// A duplicate or a late arrival from a timed-out / retired-but-
 		// alive worker: the first settlement stands.
 		s.mu.Unlock()
 		return nil
-	}
-	if fl, infl := j.inflight[ev.Task]; infl && fl.worker == ev.Worker {
-		delete(j.inflight, ev.Task)
 	}
 	j.taskSeconds += ev.Elapsed
 

@@ -1,0 +1,349 @@
+package jobs
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"triolet/internal/checkpoint"
+	"triolet/internal/cluster"
+)
+
+// Serve-path unit tests: handleEvent and sweepTimeouts are policy over the
+// job table, exercised here without a cluster. Single-threaded calls stand
+// in for the serve goroutine, locking s.mu where the real caller would.
+
+// hookStore wraps a checkpoint store with an Append interceptor, so tests
+// can observe or fail the durable write that gates admission.
+type hookStore struct {
+	checkpoint.Store
+	onAppend func(checkpoint.Record) error
+}
+
+func (h *hookStore) Append(rec checkpoint.Record) error {
+	if h.onAppend != nil {
+		if err := h.onAppend(rec); err != nil {
+			return err
+		}
+	}
+	return h.Store.Append(rec)
+}
+
+// A job mid-Submit — slot reserved, spec record not yet durable — must be
+// invisible to the scheduler: a concurrent Serve loop in that window would
+// otherwise dispatch tasks that a failed append then orphans.
+func TestSubmitNotSchedulableUntilRecorded(t *testing.T) {
+	hs := &hookStore{Store: checkpoint.NewMem()}
+	s := newTestService(t, Config{Store: hs})
+	now := time.Unix(0, 0)
+	duringAppend := -1
+	hs.onAppend = func(checkpoint.Record) error {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		duringAppend = len(s.schedule(now, []int{1, 2}))
+		return nil
+	}
+	submitN(t, s, "j", 3, 1)
+	if duringAppend != 0 {
+		t.Fatalf("scheduler dispatched %d tasks for a job whose admission record was still in flight", duringAppend)
+	}
+	s.mu.Lock()
+	plan := s.schedule(now, []int{1})
+	s.mu.Unlock()
+	if len(plan) != 1 {
+		t.Fatalf("recorded job did not dispatch: plan = %v", plan)
+	}
+}
+
+// A failed admission append rolls the slot back completely — no job entry,
+// no ring slot, and the name is reusable once the store recovers. With the
+// recorded gate nothing can have been dispatched, so the rollback is safe.
+func TestSubmitRollbackOnAppendFailure(t *testing.T) {
+	hs := &hookStore{
+		Store:    checkpoint.NewMem(),
+		onAppend: func(checkpoint.Record) error { return errors.New("disk full") },
+	}
+	s := newTestService(t, Config{Store: hs})
+	err := s.Submit(Spec{Name: "j", Kernel: "k", Tasks: [][]byte{{1}}})
+	if err == nil {
+		t.Fatal("Submit succeeded over a failing store")
+	}
+	s.mu.Lock()
+	_, exists := s.jobs["j"]
+	ring := len(s.order)
+	s.mu.Unlock()
+	if exists || ring != 0 {
+		t.Fatalf("rolled-back job still present (exists=%v, ring=%d)", exists, ring)
+	}
+	hs.onAppend = nil
+	if err := s.Submit(Spec{Name: "j", Kernel: "k", Tasks: [][]byte{{1}}}); err != nil {
+		t.Fatalf("name not reusable after rollback: %v", err)
+	}
+}
+
+// A result frame for a job the service does not know (a rolled-back
+// submission, a foreign tenant's stray frame) is dropped: it must not kill
+// the Serve loop for every other tenant.
+func TestUnknownJobResultDropped(t *testing.T) {
+	s := newTestService(t, Config{})
+	ev := cluster.MuxEvent{
+		Kind: cluster.MuxTaskDone, Worker: 1,
+		Job: "never-admitted", Task: 0, OK: true, Result: []byte{1},
+	}
+	if err := s.handleEvent(ev, time.Unix(0, 0)); err != nil {
+		t.Fatalf("stray result killed the serve loop: %v", err)
+	}
+}
+
+// dispatchTo mimics the dispatch bookkeeping for one scheduled task.
+func dispatchTo(t *testing.T, s *Service, worker int, now time.Time) int {
+	t.Helper()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	plan := s.schedule(now, []int{worker})
+	if len(plan) != 1 {
+		t.Fatalf("schedule at %v returned %d assignments, want 1", now, len(plan))
+	}
+	p := plan[0]
+	p.job.inflight[p.task] = inflight{worker: p.worker, start: now}
+	if p.job.state == Queued {
+		p.job.state = Running
+	}
+	return p.task
+}
+
+// A task that hangs on every attempt climbs the same degradation ladder as
+// an explicit failure: each timeout burns an attempt and waits out backoff,
+// and when attempts run out the task is durably quarantined so the job
+// reaches a terminal state instead of being reassigned forever.
+func TestTimeoutClimbsDegradationLadder(t *testing.T) {
+	store := checkpoint.NewMem()
+	s := newTestService(t, Config{
+		Store: store, Seed: 9,
+		BackoffBase: time.Millisecond, BackoffMax: 4 * time.Millisecond,
+	})
+	spec := Spec{
+		Name: "hang", Kernel: "k", Tasks: [][]byte{{1}},
+		MaxTaskAttempts: 2, RetryBudget: 10, TaskTimeout: 5 * time.Millisecond,
+	}
+	if err := s.Submit(spec); err != nil {
+		t.Fatal(err)
+	}
+	j := s.jobs["hang"]
+
+	now := time.Unix(0, 0)
+	task := dispatchTo(t, s, 1, now)
+
+	// First timeout: an attempt is burned, the retry waits out backoff.
+	now = now.Add(6 * time.Millisecond)
+	if err := s.sweepTimeouts(now); err != nil {
+		t.Fatalf("sweep: %v", err)
+	}
+	if j.attempts[task] != 1 || j.retriesUsed != 1 {
+		t.Fatalf("after first timeout attempts=%d retriesUsed=%d, want 1/1", j.attempts[task], j.retriesUsed)
+	}
+	if len(j.inflight) != 0 || !contains(j.pending, task) {
+		t.Fatalf("timed-out task not requeued: inflight=%v pending=%v", j.inflight, j.pending)
+	}
+	if rel, held := j.notBefore[task]; !held || !rel.After(now) {
+		t.Fatalf("timed-out retry has no backoff: notBefore=%v now=%v", j.notBefore, now)
+	}
+	s.mu.Lock()
+	early := s.schedule(now, []int{1})
+	s.mu.Unlock()
+	if len(early) != 0 {
+		t.Fatal("retry dispatched before its backoff release")
+	}
+
+	// Second timeout exhausts MaxTaskAttempts: durable quarantine, job
+	// terminal, waiters released.
+	now = now.Add(10 * time.Millisecond)
+	task = dispatchTo(t, s, 2, now)
+	now = now.Add(6 * time.Millisecond)
+	if err := s.sweepTimeouts(now); err != nil {
+		t.Fatalf("sweep: %v", err)
+	}
+	if j.state != Degraded {
+		t.Fatalf("always-hanging job state = %s, want degraded", j.state)
+	}
+	if _, quarantined := j.failed[task]; !quarantined {
+		t.Fatalf("exhausted task not quarantined: %v", j.failed)
+	}
+	select {
+	case <-j.done:
+	default:
+		t.Fatal("terminal job's done channel not closed")
+	}
+	recs, err := store.LoadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawFailed := false
+	for _, rec := range recs {
+		if rec.Job == "hang" && rec.Kind == checkpoint.KindFailed && rec.Task == task {
+			sawFailed = true
+			if rec.Attempts != 2 {
+				t.Fatalf("quarantine record attempts = %d, want 2", rec.Attempts)
+			}
+		}
+	}
+	if !sawFailed {
+		t.Fatal("timeout quarantine left no durable KindFailed record")
+	}
+}
+
+// When a timed-out attempt's late result settles a task while the retry is
+// still running elsewhere, the retry's eventual result must retire its
+// inflight entry in the dedup path — otherwise sweepTimeouts keeps "timing
+// out" the stale entry and the settled task is re-executed forever.
+func TestLateResultThenRetryResultRetiresInflight(t *testing.T) {
+	s := newTestService(t, Config{BackoffBase: time.Millisecond, BackoffMax: time.Millisecond})
+	spec := Spec{
+		Name: "dup", Kernel: "k", Tasks: [][]byte{{1}, {2}},
+		TaskTimeout: 5 * time.Millisecond,
+	}
+	if err := s.Submit(spec); err != nil {
+		t.Fatal(err)
+	}
+	j := s.jobs["dup"]
+
+	now := time.Unix(0, 0)
+	task := dispatchTo(t, s, 1, now) // attempt on worker 1
+
+	// Timeout, then redispatch the retry onto worker 2.
+	now = now.Add(6 * time.Millisecond)
+	if err := s.sweepTimeouts(now); err != nil {
+		t.Fatal(err)
+	}
+	now = now.Add(2 * time.Millisecond)
+	s.mu.Lock()
+	retry := -1
+	for _, p := range s.schedule(now, []int{2}) {
+		if p.task == task {
+			retry = p.task
+			p.job.inflight[p.task] = inflight{worker: 2, start: now}
+		}
+	}
+	s.mu.Unlock()
+	if retry != task {
+		t.Fatalf("retry did not redispatch task %d", task)
+	}
+
+	// The late first-attempt result settles the task...
+	if err := s.handleEvent(cluster.MuxEvent{
+		Kind: cluster.MuxTaskDone, Worker: 1, Job: "dup", Task: task,
+		OK: true, Result: []byte("first"),
+	}, now); err != nil {
+		t.Fatal(err)
+	}
+	// ...and the retry's duplicate result must still retire worker 2's
+	// inflight entry.
+	if err := s.handleEvent(cluster.MuxEvent{
+		Kind: cluster.MuxTaskDone, Worker: 2, Job: "dup", Task: task,
+		OK: true, Result: []byte("second"),
+	}, now); err != nil {
+		t.Fatal(err)
+	}
+	if string(j.completed[task]) != "first" {
+		t.Fatalf("first settlement did not stand: %q", j.completed[task])
+	}
+	if _, stale := j.inflight[task]; stale {
+		t.Fatal("retry worker's inflight entry survived the duplicate result")
+	}
+
+	// No resurrection: a later sweep and schedule must not touch the
+	// settled task, and the job's retry budget stops bleeding.
+	usedBefore := j.retriesUsed
+	now = now.Add(time.Hour)
+	if err := s.sweepTimeouts(now); err != nil {
+		t.Fatal(err)
+	}
+	if contains(j.pending, task) {
+		t.Fatal("settled task requeued by the timeout sweep")
+	}
+	if j.retriesUsed != usedBefore {
+		t.Fatalf("retry budget bled on a settled task: %d -> %d", usedBefore, j.retriesUsed)
+	}
+	s.mu.Lock()
+	plan := s.schedule(now, []int{1, 2})
+	s.mu.Unlock()
+	for _, p := range plan {
+		if p.task == task {
+			t.Fatal("scheduler re-dispatched a settled task")
+		}
+	}
+}
+
+// A stale inflight entry whose task settled while the attempt was in
+// flight is reaped by the sweep without a requeue, a budget charge, or a
+// health penalty — the worker did nothing wrong.
+func TestSweepDropsStaleEntryForSettledTask(t *testing.T) {
+	s := newTestService(t, Config{})
+	spec := Spec{
+		Name: "stale", Kernel: "k", Tasks: [][]byte{{1}, {2}},
+		TaskTimeout: 5 * time.Millisecond,
+	}
+	if err := s.Submit(spec); err != nil {
+		t.Fatal(err)
+	}
+	j := s.jobs["stale"]
+
+	now := time.Unix(0, 0)
+	task := dispatchTo(t, s, 3, now)
+	// The task settles (late duplicate from an earlier life of the worker)
+	// while worker 3's attempt is still nominally in flight.
+	if err := s.handleEvent(cluster.MuxEvent{
+		Kind: cluster.MuxTaskDone, Worker: 7, Job: "stale", Task: task,
+		OK: true, Result: []byte("settled"),
+	}, now); err != nil {
+		t.Fatal(err)
+	}
+	if _, infl := j.inflight[task]; !infl {
+		t.Fatal("test setup: worker 3's attempt should still be inflight")
+	}
+
+	now = now.Add(6 * time.Millisecond)
+	if err := s.sweepTimeouts(now); err != nil {
+		t.Fatal(err)
+	}
+	if _, infl := j.inflight[task]; infl {
+		t.Fatal("stale inflight entry survived the sweep")
+	}
+	if contains(j.pending, task) || j.attempts[task] != 0 || j.retriesUsed != 0 {
+		t.Fatalf("settled task penalized by sweep: pending=%v attempts=%v retriesUsed=%d",
+			j.pending, j.attempts, j.retriesUsed)
+	}
+	if s.health[3] != 0 {
+		t.Fatalf("worker 3 health penalized for a settled task: %v", s.health[3])
+	}
+}
+
+// A lost worker whose in-flight task already settled retires the attempt
+// record without requeueing the task.
+func TestWorkerLostDoesNotRequeueSettledTask(t *testing.T) {
+	s := newTestService(t, Config{})
+	if err := s.Submit(Spec{Name: "lost", Kernel: "k", Tasks: [][]byte{{1}, {2}}}); err != nil {
+		t.Fatal(err)
+	}
+	j := s.jobs["lost"]
+	now := time.Unix(0, 0)
+	task := dispatchTo(t, s, 4, now)
+	if err := s.handleEvent(cluster.MuxEvent{
+		Kind: cluster.MuxTaskDone, Worker: 9, Job: "lost", Task: task,
+		OK: true, Result: []byte("done"),
+	}, now); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.handleEvent(cluster.MuxEvent{
+		Kind: cluster.MuxWorkerLost, Worker: 4,
+		Requeued: []cluster.MuxAssignment{{Job: "lost", Task: task}},
+	}, now); err != nil {
+		t.Fatal(err)
+	}
+	if _, infl := j.inflight[task]; infl {
+		t.Fatal("lost worker's stale inflight entry survived")
+	}
+	if contains(j.pending, task) {
+		t.Fatal("settled task requeued after worker loss")
+	}
+}
