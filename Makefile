@@ -5,7 +5,7 @@ GO ?= go
 
 .PHONY: build test race chaos chaos-resume chaos-campaign fuzz fuzz-wal \
 	bench bench-baseline alloc-gate msg-gate msg-baseline diffcheck-gate \
-	diffcheck-soak lint lint-selftest vet all
+	diffcheck-soak autopar-gate lint lint-selftest vet all
 
 all: vet build test
 
@@ -66,11 +66,11 @@ bench-baseline:
 	$(GO) run ./cmd/triolet-bench -bench-gate -write-baseline BENCH_BASELINE.json
 
 # Steady-state allocation gate: AllocsPerRun proofs over the block
-# engine's fast paths (must run without -race; the detector instruments
-# allocations).
+# engine's fast paths and the core skeletons' merge steps (must run
+# without -race; the detector instruments allocations).
 alloc-gate:
 	$(GO) test -count=1 -timeout 5m \
-		-run 'ZeroAllocs|Allocs|Arena|Presize' ./internal/iter/
+		-run 'ZeroAllocs|Allocs|Arena|Presize' ./internal/iter/ ./internal/core/
 
 # Message-volume regression gate against the checked-in wire baseline.
 msg-gate:
@@ -90,6 +90,15 @@ diffcheck-gate:
 diffcheck-soak:
 	DIFFCHECK_SOAK=$${DIFFCHECK_SOAK:-200} $(GO) test -race -count=1 -timeout 60m -v \
 		-run Soak ./internal/diffcheck/
+
+# AutoPar acceptance sweep: planner-mapped runs vs the best hand-tuned
+# 1-8 node configuration, with online recalibration between runs. CI uses
+# a relaxed bound for shared runners (AUTOPAR_BOUND=1.25); the nightly and
+# local runs enforce the paper's 10%. AUTOPAR_CALIB persists the snapshot.
+autopar-gate:
+	$(GO) run ./cmd/triolet-bench -autopar-sweep \
+		-autopar-bound $${AUTOPAR_BOUND:-1.10} \
+		-autopar-calib "$${AUTOPAR_CALIB:-AUTOPAR_CALIB.json}" -cores 2
 
 # The repo's own analyzer suite: clock-injection, kernel-purity,
 # shared-buffer-aliasing, float-determinism, and message-tag contracts

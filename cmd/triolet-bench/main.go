@@ -55,6 +55,9 @@ func main() {
 	jsonOut := flag.Bool("json", false, "with -bench-gate: emit results as JSON")
 	baseline := flag.String("baseline", "", "with -bench-gate: compare ratios against this baseline file and fail on >10% regression")
 	writeBaseline := flag.String("write-baseline", "", "with -bench-gate: write the measured ratios to this file")
+	autoParSweep := flag.Bool("autopar-sweep", false, "run the AutoPar acceptance sweep: planner-mapped runs vs best hand-tuned 1-8 node configs, with online recalibration")
+	autoParBound := flag.Float64("autopar-bound", 1.10, "with -autopar-sweep: fail if any auto-mapped run exceeds bound x best hand-tuned time")
+	autoParCalib := flag.String("autopar-calib", "", "with -autopar-sweep: calibration snapshot path to load/update (default: no persistence)")
 	msgGate := flag.Bool("msg-gate", false, "measure bytes/messages on the wire for fixed workloads")
 	msgBaseline := flag.String("msg-baseline", "", "with -msg-gate: compare against this baseline file and fail on >10% growth")
 	writeMsgBaseline := flag.String("write-msg-baseline", "", "with -msg-gate: write the measured wire footprint to this file")
@@ -81,6 +84,10 @@ func main() {
 
 	if *msgGate {
 		finish(runMsgGate(*jsonOut, *msgBaseline, *writeMsgBaseline))
+	}
+
+	if *autoParSweep {
+		finish(runAutoParSweep(*jsonOut, *autoParBound, *autoParCalib, *cores))
 	}
 
 	if *farmDemo {

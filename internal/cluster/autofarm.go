@@ -1,0 +1,205 @@
+// AutoPar's cluster entry points. The perfmodel planner decides HOW a
+// farm job should run (distribute or stay master-local, how many nodes);
+// this file executes that decision and meters it, recording
+// predicted-vs-observed trace instants so every auto-mapped run leaves an
+// auditable accuracy trail:
+//
+//	plan.predicted        predicted wall time, µs
+//	plan.predicted-bytes  predicted cross-fabric volume, bytes
+//	plan.observed         observed wall time (fabric clock), µs
+//	plan.observed-bytes   observed fabric volume delta, bytes
+//
+// cluster cannot import perfmodel (perfmodel imports the parboil ports,
+// which import cluster), so the planner's Plan is projected into the
+// dependency-free FarmPlan here and converted by callers (internal/harness).
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"triolet/internal/checkpoint"
+	"triolet/internal/transport"
+)
+
+// FarmPlan is the cluster-level projection of a perfmodel plan: just what
+// the runtime needs to place and meter the job.
+type FarmPlan struct {
+	// Distribute ships tasks to worker ranks; false runs them on the
+	// master (the kernel's own parallel loops still use the local pool).
+	Distribute bool
+	// Nodes is the virtual cluster size the plan wants; AutoFarm sizes
+	// the cluster with it, FarmAuto only sanity-checks it.
+	Nodes int
+	// Label qualifies the trace instants (the workload name).
+	Label string
+	// PredictedSeconds and PredictedBytes are the plan's predictions,
+	// recorded before the run for later comparison.
+	PredictedSeconds float64
+	PredictedBytes   int64
+}
+
+// FarmAuto runs one farm job the way the plan says, inside an existing
+// session, and records predicted/observed instants on the master's
+// tracer. The observed wall time is measured on the fabric clock and
+// the observed bytes from the fabric's meter, so both follow an injected
+// test clock/fabric.
+func (s *Session) FarmAuto(name string, tasks [][]byte, plan FarmPlan, opt FarmOptions) (*FarmResult, error) {
+	tr := s.node.Tracer
+	tr.Instant(0, "plan.predicted", int64(plan.PredictedSeconds*1e6))
+	tr.Instant(0, "plan.predicted-bytes", plan.PredictedBytes)
+	clk := s.fabric.Clock()
+	before := s.fabric.Stats().Bytes
+	start := clk.Now()
+
+	var fr *FarmResult
+	var err error
+	if plan.Distribute && s.node.Nodes() > 1 {
+		fr, err = s.FarmOpts(name, tasks, opt)
+	} else {
+		fr, err = s.farmLocal(name, tasks, opt)
+	}
+
+	tr.Instant(0, "plan.observed", clk.Now().Sub(start).Microseconds())
+	tr.Instant(0, "plan.observed-bytes", s.fabric.Stats().Bytes-before)
+	return fr, err
+}
+
+// farmLocal executes every task on the master under the farm's per-task
+// failure policy (attempts, quarantine, checkpoint/resume, timing), with
+// no worker dispatch. Tasks run one at a time: node-local parallelism
+// belongs to the kernel's own pool loops, and the pool runs one region at
+// a time.
+func (s *Session) farmLocal(name string, tasks [][]byte, opt FarmOptions) (*FarmResult, error) {
+	fn, ok := lookupFarm(name)
+	if !ok {
+		return nil, fmt.Errorf("cluster: farm kernel %q not registered", name)
+	}
+	ctx := opt.Context
+	if ctx == nil {
+		ctx = s.node.Comm.Context()
+	}
+	maxAttempts := opt.MaxAttempts
+	if maxAttempts <= 0 {
+		maxAttempts = defaultMaxAttempts
+	}
+	if opt.Checkpoint != nil && opt.Job == "" {
+		return nil, fmt.Errorf("cluster: farm %q: checkpointing requires a job name", name)
+	}
+
+	res := &FarmResult{Results: make([][]byte, len(tasks))}
+	completed := make([]bool, len(tasks))
+	tr := s.node.Tracer
+	clk := s.fabric.Clock()
+
+	record := func(rec checkpoint.Record) error {
+		if opt.Checkpoint == nil {
+			return nil
+		}
+		rec.Job = opt.Job
+		if err := opt.Checkpoint.Append(rec); err != nil {
+			return fmt.Errorf("cluster: farm %q checkpoint: %w", name, err)
+		}
+		tr.Instant(0, "farm.checkpoint", int64(len(rec.Payload)))
+		return nil
+	}
+
+	if opt.Checkpoint != nil {
+		recs, err := opt.Checkpoint.Load(opt.Job)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: farm %q: load checkpoint: %w", name, err)
+		}
+		for _, rec := range recs {
+			if rec.Task < 0 || rec.Task >= len(tasks) || completed[rec.Task] {
+				continue
+			}
+			switch rec.Kind {
+			case checkpoint.KindResult:
+				res.Results[rec.Task] = rec.Payload
+			case checkpoint.KindFailed:
+				res.Failed = append(res.Failed, TaskFailure{
+					Task: rec.Task, Attempts: rec.Attempts, Err: string(rec.Payload),
+				})
+			default:
+				continue
+			}
+			completed[rec.Task] = true
+			res.Resumed++
+		}
+		if res.Resumed > 0 {
+			tr.Instant(0, "farm.resume", int64(res.Resumed))
+		}
+	}
+
+	for idx := range tasks {
+		if completed[idx] {
+			continue
+		}
+		var lastErr error
+		settled := false
+		for attempt := 1; attempt <= maxAttempts && !settled; attempt++ {
+			if err := ctx.Err(); err != nil {
+				return res, fmt.Errorf("cluster: farm %q: %w", name, err)
+			}
+			start := clk.Now()
+			out, ferr := runFarmTask(s.node, fn, tasks[idx])
+			if ferr != nil {
+				lastErr = ferr
+				tr.Instant(0, "farm.task-fail", int64(idx))
+				if attempt > 1 {
+					res.Retried++
+				}
+				continue
+			}
+			if opt.OnTaskTiming != nil {
+				if d := clk.Now().Sub(start); d > 0 {
+					opt.OnTaskTiming(idx, d)
+				}
+			}
+			if err := record(checkpoint.Record{Task: idx, Kind: checkpoint.KindResult, Payload: out}); err != nil {
+				return res, err
+			}
+			res.Results[idx] = out
+			res.MasterRan++
+			settled = true
+		}
+		if !settled {
+			msg := lastErr.Error()
+			if err := record(checkpoint.Record{
+				Task: idx, Kind: checkpoint.KindFailed, Attempts: maxAttempts, Payload: []byte(msg),
+			}); err != nil {
+				return res, err
+			}
+			res.Failed = append(res.Failed, TaskFailure{Task: idx, Attempts: maxAttempts, Err: msg})
+			tr.Instant(0, "farm.quarantine", int64(idx))
+		}
+	}
+	return res, nil
+}
+
+// AutoFarm provisions a virtual cluster sized by the plan, runs one farm
+// job on it under FarmAuto's metering, and tears the cluster down. It is
+// the one-call entry point for a planned job when no session exists yet;
+// inside an existing session use Session.FarmAuto.
+func AutoFarm(cfg Config, plan FarmPlan, name string, tasks [][]byte, opt FarmOptions) (*FarmResult, transport.Stats, error) {
+	if plan.Distribute && plan.Nodes > 1 {
+		cfg.Nodes = plan.Nodes
+	} else {
+		cfg.Nodes = 1
+	}
+	ctx := opt.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	var fr *FarmResult
+	stats, err := RunCtx(ctx, cfg, func(s *Session) error {
+		var ferr error
+		fr, ferr = s.FarmAuto(name, tasks, plan, opt)
+		return ferr
+	})
+	if err != nil && fr == nil && !errors.Is(err, context.Canceled) {
+		return nil, stats, err
+	}
+	return fr, stats, err
+}

@@ -89,12 +89,44 @@ func resetFarmRegistry() {
 }
 
 // encodeTask frames one task assignment (stop=true carries no task).
-func encodeTask(stop bool, index int, payload []byte) []byte {
+// timing asks the worker to report the task's kernel time back on the
+// heartbeat tag (see encodeTiming) — set when the master has an
+// OnTaskTiming observer, one flag byte otherwise.
+func encodeTask(stop bool, index int, payload []byte, timing bool) []byte {
 	w := serial.NewWriter(len(payload) + 16)
 	w.Bool(stop)
 	w.Int(index)
+	w.Bool(timing)
 	w.RawBytes(payload)
 	return w.Bytes()
+}
+
+// encodeTiming frames one per-task timing report: the payload of a
+// timing beat. Timing rides the unacked beat path on purpose — losing a
+// sample under faults only deprives the recalibrator of one observation,
+// and beats coalesce/piggyback so the control-plane message budget is
+// unchanged.
+func encodeTiming(index int, elapsed time.Duration) []byte {
+	w := serial.NewWriter(16)
+	w.Int(index)
+	w.U64(uint64(elapsed))
+	return w.Bytes()
+}
+
+// decodeTiming parses a timing beat payload. ok is false for a plain
+// liveness beat (empty payload) or a malformed one — both are just
+// liveness signals to the caller.
+func decodeTiming(payload []byte) (index int, elapsed time.Duration, ok bool) {
+	if len(payload) == 0 {
+		return 0, 0, false
+	}
+	r := serial.NewReader(payload)
+	index = r.Int()
+	elapsed = time.Duration(r.U64())
+	if r.Err() != nil || r.Remaining() != 0 || elapsed < 0 {
+		return 0, 0, false
+	}
+	return index, elapsed, true
 }
 
 // runFarmTask invokes the kernel with panic containment: a panicking
@@ -144,6 +176,7 @@ func farmWorker(n *Node, fn FarmFn) error {
 		close(stop)
 		wg.Wait()
 	}()
+	clk := clockOf(n)
 	for {
 		m, err := n.Comm.Recv(0, farmTaskTag)
 		if err != nil {
@@ -160,6 +193,7 @@ func farmWorker(n *Node, fn FarmFn) error {
 		r := serial.NewReader(m.Payload)
 		stopFrame := r.Bool()
 		idx := r.Int()
+		timing := r.Bool()
 		task := r.RawBytes()
 		if r.Err() != nil {
 			return fmt.Errorf("cluster: node %d: malformed farm task: %w", n.Rank(), r.Err())
@@ -167,7 +201,14 @@ func farmWorker(n *Node, fn FarmFn) error {
 		if stopFrame {
 			return nil
 		}
+		start := clk.Now()
 		out, ferr := runFarmTask(n, fn, task)
+		if timing && ferr == nil {
+			// Best-effort: a lost timing beat costs one recalibration
+			// sample, nothing else. Sent before the result so coalescing
+			// piggybacks it on (or ahead of) the result frame.
+			_ = n.Comm.SendBeat(0, farmBeatTag, encodeTiming(idx, clk.Now().Sub(start)))
+		}
 		w := serial.NewWriter(len(out) + 16)
 		w.Int(idx)
 		w.Bool(ferr == nil)
@@ -251,6 +292,12 @@ type FarmOptions struct {
 	// crashed. 0 means the default 500ms; negative disables heartbeat
 	// retirement (crash detection still applies).
 	HeartbeatTimeout time.Duration
+	// OnTaskTiming, when non-nil, receives each successful task's kernel
+	// time, measured on the executing node's fabric clock and carried
+	// back on the heartbeat tag. Delivery is best-effort (beats are
+	// unacked) and at-most-once per task; the callback runs on the
+	// master's collect loop. This is AutoPar's recalibration feed.
+	OnTaskTiming func(task int, elapsed time.Duration)
 }
 
 const (
@@ -289,6 +336,19 @@ func (s *Session) FarmOpts(name string, tasks [][]byte, opt FarmOptions) (*FarmR
 	hbTimeout := opt.HeartbeatTimeout
 	if hbTimeout == 0 {
 		hbTimeout = defaultHeartbeatTimeout
+	}
+	timing := opt.OnTaskTiming != nil
+	var timingSeen map[int]bool
+	if timing {
+		timingSeen = make(map[int]bool, len(tasks))
+	}
+	// reportTiming delivers one at-most-once timing sample to the observer.
+	reportTiming := func(idx int, d time.Duration) {
+		if !timing || idx < 0 || idx >= len(tasks) || timingSeen[idx] || d <= 0 {
+			return
+		}
+		timingSeen[idx] = true
+		opt.OnTaskTiming(idx, d)
 	}
 	if opt.Checkpoint != nil && opt.Job == "" {
 		return nil, fmt.Errorf("cluster: farm %q: checkpointing requires a job name", name)
@@ -450,7 +510,7 @@ func (s *Session) FarmOpts(name string, tasks [][]byte, opt FarmOptions) (*FarmR
 			}
 		}
 		idx := queue[pick]
-		if err := s.node.Comm.SendCtx(ctx, w, farmTaskTag, encodeTask(false, idx, tasks[idx])); err != nil {
+		if err := s.node.Comm.SendCtx(ctx, w, farmTaskTag, encodeTask(false, idx, tasks[idx], timing)); err != nil {
 			if errors.Is(err, mpi.ErrRankLost) || errors.Is(err, transport.ErrCrashed) {
 				loseWorker(w)
 				return nil
@@ -472,7 +532,7 @@ func (s *Session) FarmOpts(name string, tasks [][]byte, opt FarmOptions) (*FarmR
 			if lostAtDispatch[w] {
 				continue
 			}
-			if err := s.node.Comm.Send(w, farmTaskTag, encodeTask(true, 0, nil)); err != nil &&
+			if err := s.node.Comm.Send(w, farmTaskTag, encodeTask(true, 0, nil, false)); err != nil &&
 				!errors.Is(err, mpi.ErrRankLost) && !errors.Is(err, transport.ErrCrashed) {
 				return res, fmt.Errorf("cluster: farm %q stop: %w", name, err)
 			}
@@ -513,7 +573,11 @@ func (s *Session) FarmOpts(name string, tasks [][]byte, opt FarmOptions) (*FarmR
 				}
 				idx := queue[0]
 				queue = queue[1:]
+				taskStart := clk.Now()
 				out, ferr := runFarmTask(s.node, fn, tasks[idx])
+				if ferr == nil {
+					reportTiming(idx, clk.Now().Sub(taskStart))
+				}
 				if ferr != nil {
 					if err := failTask(idx, 0, ferr.Error()); err != nil {
 						return res, err
@@ -538,6 +602,9 @@ func (s *Session) FarmOpts(name string, tasks [][]byte, opt FarmOptions) (*FarmR
 				break
 			}
 			lastSeen[hm.Src] = clk.Now()
+			if idx, d, tok := decodeTiming(hm.Payload); tok {
+				reportTiming(idx, d)
+			}
 		}
 
 		m, ok, err := s.node.Comm.TryRecv(transport.AnySource, farmResultTag)

@@ -1,0 +1,64 @@
+package core
+
+import (
+	"testing"
+
+	"triolet/internal/iter"
+	"triolet/internal/sched"
+)
+
+// Sinks defeat dead-code elimination in the alloc measurements.
+var (
+	histAllocSink  []int64
+	whistAllocSink []float32
+)
+
+// The parallel histogram's allocation bound is workers+1 bin arrays plus a
+// constant number of split/range descriptors — independent of element
+// count. The block AddInto merge must not reintroduce per-element or
+// per-bin boxing, so the gate compares a 64× larger input at an identical
+// range count and requires no allocation growth. Runs under CI's
+// alloc-gate job (-run 'ZeroAllocs|Allocs|Arena|Presize').
+func TestHistogramMergeAllocsBounded(t *testing.T) {
+	pool := sched.NewPool(4)
+	defer pool.Close()
+	const bins = 64
+
+	measure := func(n int) float64 {
+		xs := make([]int, n)
+		for i := range xs {
+			xs[i] = i % bins
+		}
+		it := iter.LocalPar(iter.FromSlice(xs))
+		grain := n / 8 // 8 parallel ranges regardless of n
+		return testing.AllocsPerRun(10, func() {
+			histAllocSink = HistogramLocal(pool, bins, it, grain)
+		})
+	}
+	small, big := measure(4096), measure(262144)
+	if big > small+8 {
+		t.Fatalf("histogram allocs scale with input: %v for 4Ki elems, %v for 256Ki", small, big)
+	}
+}
+
+func TestWeightedHistogramMergeAllocsBounded(t *testing.T) {
+	pool := sched.NewPool(4)
+	defer pool.Close()
+	const bins = 64
+
+	measure := func(n int) float64 {
+		xs := make([]iter.Bin[float32], n)
+		for i := range xs {
+			xs[i] = iter.Bin[float32]{I: i % bins, W: float32(i%7) * 0.5}
+		}
+		it := iter.LocalPar(iter.FromSlice(xs))
+		grain := n / 8
+		return testing.AllocsPerRun(10, func() {
+			whistAllocSink = WeightedHistogramLocal(pool, bins, it, grain)
+		})
+	}
+	small, big := measure(4096), measure(262144)
+	if big > small+8 {
+		t.Fatalf("weighted histogram allocs scale with input: %v for 4Ki elems, %v for 256Ki", small, big)
+	}
+}

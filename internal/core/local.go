@@ -9,10 +9,22 @@
 package core
 
 import (
+	"triolet/internal/array"
 	"triolet/internal/domain"
 	"triolet/internal/iter"
 	"triolet/internal/sched"
 )
+
+// effGrain resolves a caller grain against the iterator's planner hint:
+// an explicit grain wins, grain <= 0 defers to iter.WithGrain's value
+// (AutoPar's hook), and zero-for-both falls through to sched.DefaultGrain
+// inside ParallelFor.
+func effGrain[T any](grain int, it iter.Iter[T]) int {
+	if grain > 0 {
+		return grain
+	}
+	return it.Grain()
+}
 
 // SumLocal adds the elements of it. With a parallelism hint and a
 // splittable outer loop it runs on the pool, one fused sequential reduction
@@ -32,7 +44,7 @@ func ReduceLocal[T, A any](pool *sched.Pool, it iter.Iter[T], grain int, id A, w
 	if it.Hint() == iter.Sequential || !splittable || pool == nil {
 		return iter.Reduce(it, id, w)
 	}
-	return sched.ParallelReduce(pool, n, grain, id,
+	return sched.ParallelReduce(pool, n, effGrain(grain, it), id,
 		func(lo, hi int) A {
 			return iter.Reduce(iter.Split(it, domain.Range{Lo: lo, Hi: hi}), id, w)
 		}, combine)
@@ -57,14 +69,16 @@ func HistogramLocal(pool *sched.Pool, bins int, it iter.Iter[int], grain int) []
 	for i := range private {
 		private[i] = make([]int64, bins)
 	}
-	pool.ParallelFor(n, grain, func(worker, lo, hi int) {
+	pool.ParallelFor(n, effGrain(grain, it), func(worker, lo, hi int) {
 		iter.HistogramInto(private[worker], iter.Split(it, domain.Range{Lo: lo, Hi: hi}))
 	})
+	// Merge each worker's bins in one block add (array.AddInto — a
+	// bounds-check-hoisted, vectorizable loop) instead of an indexed
+	// per-element accumulate. Allocation stays workers+1 bin arrays,
+	// independent of element count — pinned by the core alloc gate.
 	out := make([]int64, bins)
 	for _, h := range private {
-		for i, v := range h {
-			out[i] += v
-		}
+		array.AddInto(out, h)
 	}
 	return out
 }
@@ -80,14 +94,14 @@ func WeightedHistogramLocal[W iter.Number](pool *sched.Pool, bins int, it iter.I
 	for i := range private {
 		private[i] = make([]W, bins)
 	}
-	pool.ParallelFor(n, grain, func(worker, lo, hi int) {
+	pool.ParallelFor(n, effGrain(grain, it), func(worker, lo, hi int) {
 		iter.WeightedHistogramInto(private[worker], iter.Split(it, domain.Range{Lo: lo, Hi: hi}))
 	})
+	// Same block merge as HistogramLocal; for float bins the unchanged
+	// per-worker merge order keeps results bit-identical to the old loop.
 	out := make([]W, bins)
 	for _, h := range private {
-		for i, v := range h {
-			out[i] += v
-		}
+		array.AddInto(out, h)
 	}
 	return out
 }
@@ -108,7 +122,7 @@ func BuildSliceLocal[T any](pool *sched.Pool, it iter.Iter[T], grain int) []T {
 		return iter.ToSlice(it)
 	}
 	out := make([]T, n)
-	pool.ParallelFor(n, grain, func(_, lo, hi int) {
+	pool.ParallelFor(n, effGrain(grain, it), func(_, lo, hi int) {
 		iter.FillRange(out[lo:hi], it, lo)
 	})
 	return out

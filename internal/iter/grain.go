@@ -1,0 +1,25 @@
+package iter
+
+// Grain hints: AutoPar's hook into the local skeletons. The planner picks
+// a block-aligned grain per workload; WithGrain attaches it to the
+// iterator so consumers that take "grain <= 0 means default" (the core
+// local skeletons) pick up the planned value without every call site
+// growing a parameter. Like ParHint, the grain survives the structural
+// combinators (Map/Filter/ConcatMap/Zip*); a zip of two hinted iterators
+// takes the larger grain, mirroring mergeHint's "most parallel wins".
+
+// WithGrain returns it carrying an explicit parallel grain. grain <= 0
+// clears the hint.
+func WithGrain[T any](it Iter[T], grain int) Iter[T] {
+	if grain < 0 {
+		grain = 0
+	}
+	it.grain = grain
+	return it
+}
+
+// Grain reports the iterator's grain hint (0 = unset).
+func (it Iter[T]) Grain() int { return it.grain }
+
+// mergeGrain combines two grain hints: the larger explicit grain wins.
+func mergeGrain(a, b int) int { return max(a, b) }

@@ -6,7 +6,9 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"math"
 	"path/filepath"
+	"sort"
 	"sync"
 	"time"
 
@@ -53,6 +55,12 @@ type CampaignConfig struct {
 	// within WaitFactor × its solo runtime (floored at 50ms wall clock to
 	// absorb scheduler noise; default 10).
 	WaitFactor float64
+	// LatencyFactor bounds the fairness phase's latency distribution: the
+	// small tenant's p50 and p99 per-task settle latencies must stay
+	// within LatencyFactor × the combined heavy tenants' (default 1.0 —
+	// sharing with 10× tenants must not give the small job a worse
+	// distribution than the tenants themselves see).
+	LatencyFactor float64
 	// WALDir is the directory for the campaign's registry WAL (required).
 	WALDir string
 	// Logf, when set, receives progress lines (e.g. fmt.Printf or
@@ -92,6 +100,9 @@ func (cfg CampaignConfig) withDefaults() CampaignConfig {
 	if cfg.WaitFactor <= 0 {
 		cfg.WaitFactor = 10
 	}
+	if cfg.LatencyFactor <= 0 {
+		cfg.LatencyFactor = 1.0
+	}
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
 	}
@@ -128,6 +139,17 @@ type CampaignReport struct {
 	HeavyMS float64
 	// WaitBoundMS is the starvation bound SmallMS was held to.
 	WaitBoundMS float64
+
+	// Per-task settle latency percentiles from the concurrent run: the
+	// small tenant against the combined heavy tenants, each task measured
+	// from its job's first dispatch to its settle. The distribution gate
+	// requires SmallP50 ≤ LatencyFactor×HeavyP50 and likewise at p99.
+	SmallP50MS float64
+	SmallP99MS float64
+	HeavyP50MS float64
+	HeavyP99MS float64
+	// LatencyFactor echoes the ratio bound the percentiles were held to.
+	LatencyFactor float64
 }
 
 // String renders the report as the campaign summary table.
@@ -143,6 +165,8 @@ func (r *CampaignReport) String() string {
 		r.AdmissionDepth, r.AdmissionLimit)
 	fmt.Fprintf(&b, "  fairness:  small job %.1fms next to 10x tenants (solo %.1fms, bound %.1fms, tenants %.1fms)\n",
 		r.SmallMS, r.SoloMS, r.WaitBoundMS, r.HeavyMS)
+	fmt.Fprintf(&b, "  latency:   small p50/p99 %.1f/%.1fms vs heavy %.1f/%.1fms (factor %.2f)\n",
+		r.SmallP50MS, r.SmallP99MS, r.HeavyP50MS, r.HeavyP99MS, r.LatencyFactor)
 	return b.String()
 }
 
@@ -516,5 +540,68 @@ func runFairnessPhase(cfg CampaignConfig, rep *CampaignReport) error {
 		return fmt.Errorf("campaign: small job not interleaved: finished at %.1fms of the tenants' %.1fms drain",
 			rep.SmallMS, rep.HeavyMS)
 	}
+	return checkLatencyDistribution(cfg, rep, conc, smallTasks, heavyTasks)
+}
+
+// checkLatencyDistribution is the fairness phase's distribution gate: the
+// small tenant's per-task settle latencies (p50 and p99, measured from its
+// first dispatch) must stay within LatencyFactor × the combined heavy
+// tenants'. The wall-clock check above bounds the small job's total wait;
+// this one catches a scheduler that hits the total but serves the small
+// tenant's tasks in a tail-heavy burst.
+func checkLatencyDistribution(cfg CampaignConfig, rep *CampaignReport, conc *Service, smallTasks, heavyTasks int) error {
+	small, err := conc.TaskLatencies("fair-small")
+	if err != nil {
+		return fmt.Errorf("campaign: latency gate: %w", err)
+	}
+	heavyA, err := conc.TaskLatencies("fair-heavy-a")
+	if err != nil {
+		return fmt.Errorf("campaign: latency gate: %w", err)
+	}
+	heavyB, err := conc.TaskLatencies("fair-heavy-b")
+	if err != nil {
+		return fmt.Errorf("campaign: latency gate: %w", err)
+	}
+	heavy := append(heavyA, heavyB...)
+	if len(small) != smallTasks || len(heavy) != 2*heavyTasks {
+		return fmt.Errorf("campaign: latency gate: %d small / %d heavy samples, want %d / %d",
+			len(small), len(heavy), smallTasks, 2*heavyTasks)
+	}
+	smallP50, smallP99 := latencyPercentile(small, 50), latencyPercentile(small, 99)
+	heavyP50, heavyP99 := latencyPercentile(heavy, 50), latencyPercentile(heavy, 99)
+	rep.SmallP50MS = float64(smallP50.Microseconds()) / 1e3
+	rep.SmallP99MS = float64(smallP99.Microseconds()) / 1e3
+	rep.HeavyP50MS = float64(heavyP50.Microseconds()) / 1e3
+	rep.HeavyP99MS = float64(heavyP99.Microseconds()) / 1e3
+	rep.LatencyFactor = cfg.LatencyFactor
+	cfg.Logf("latency: small p50/p99 %.1f/%.1fms vs heavy %.1f/%.1fms (factor %.2f)",
+		rep.SmallP50MS, rep.SmallP99MS, rep.HeavyP50MS, rep.HeavyP99MS, cfg.LatencyFactor)
+	if float64(smallP50) > cfg.LatencyFactor*float64(heavyP50) {
+		return fmt.Errorf("campaign: small tenant p50 %.1fms exceeds %.2fx heavy p50 %.1fms",
+			rep.SmallP50MS, cfg.LatencyFactor, rep.HeavyP50MS)
+	}
+	if float64(smallP99) > cfg.LatencyFactor*float64(heavyP99) {
+		return fmt.Errorf("campaign: small tenant p99 %.1fms exceeds %.2fx heavy p99 %.1fms",
+			rep.SmallP99MS, cfg.LatencyFactor, rep.HeavyP99MS)
+	}
 	return nil
+}
+
+// latencyPercentile is the nearest-rank percentile of d (p in (0,100]).
+// With few samples high percentiles resolve to the maximum, which is the
+// conservative direction for a gate.
+func latencyPercentile(d []time.Duration, p float64) time.Duration {
+	if len(d) == 0 {
+		return 0
+	}
+	s := append([]time.Duration(nil), d...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	idx := int(math.Ceil(p/100*float64(len(s)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(s) {
+		idx = len(s) - 1
+	}
+	return s[idx]
 }

@@ -90,6 +90,27 @@ func (e *AdmissionError) Error() string {
 
 func (e *AdmissionError) Unwrap() error { return ErrQueueFull }
 
+// ErrQuotaExceeded reports a job over its declared fabric byte budget.
+// Submit wraps it in a *QuotaError when the task payloads alone exceed the
+// budget; at runtime a job whose accounted bytes (payloads in + results
+// out) cross the budget has its remaining tasks quarantined with a
+// QuotaError message and completes Degraded.
+var ErrQuotaExceeded = errors.New("jobs: fabric byte quota exceeded")
+
+// QuotaError carries the accounting behind an ErrQuotaExceeded rejection
+// or degradation, mirroring AdmissionError's shape.
+type QuotaError struct {
+	Job    string
+	Used   int64 // bytes accounted (or statically required) when tripped
+	Budget int64 // the job's declared ByteBudget
+}
+
+func (e *QuotaError) Error() string {
+	return fmt.Sprintf("jobs: %q over byte quota: %d used of %d budgeted", e.Job, e.Used, e.Budget)
+}
+
+func (e *QuotaError) Unwrap() error { return ErrQuotaExceeded }
+
 // Spec describes one job: a named task list bound to a registered farm
 // kernel, plus the fairness and robustness knobs the service schedules by.
 type Spec struct {
@@ -114,6 +135,13 @@ type Spec struct {
 	// elsewhere and the slow rank's health score is penalized; the late
 	// result, if it ever arrives, is deduplicated.
 	TaskTimeout time.Duration
+	// ByteBudget caps the job's accounted fabric bytes — task payloads
+	// dispatched plus result bytes returned (0 = unlimited). A submission
+	// whose payloads alone exceed it is rejected with a *QuotaError;
+	// a running job that crosses it is degraded: still-pending tasks are
+	// quarantined (durably, like any other failure) and the job completes
+	// Degraded, while in-flight attempts settle normally.
+	ByteBudget int64
 }
 
 func (sp Spec) withDefaults() Spec {
@@ -138,6 +166,15 @@ func (sp Spec) validate() error {
 	}
 	if len(sp.Tasks) == 0 {
 		return fmt.Errorf("jobs: spec %q has no tasks", sp.Name)
+	}
+	if sp.ByteBudget > 0 {
+		var need int64
+		for _, t := range sp.Tasks {
+			need += int64(len(t))
+		}
+		if need > sp.ByteBudget {
+			return &QuotaError{Job: sp.Name, Used: need, Budget: sp.ByteBudget}
+		}
 	}
 	return nil
 }
@@ -222,7 +259,38 @@ type job struct {
 	taskSeconds time.Duration
 	bytesIn     int64
 	bytesOut    int64
-	done        chan struct{}
+	// firstRun is the fabric-clock instant of the Queued→Running
+	// transition; latencies records each task's settle time relative to
+	// it, in settle order — the raw data behind the fairness campaign's
+	// p50/p99 distribution check.
+	firstRun  time.Time
+	latencies []time.Duration
+	done      chan struct{}
+}
+
+// markRunningLocked flips Queued→Running and stamps the latency epoch.
+func (j *job) markRunningLocked(now time.Time) {
+	if j.state == Queued {
+		j.state = Running
+	}
+	if j.firstRun.IsZero() {
+		j.firstRun = now
+	}
+}
+
+// noteSettleLocked records one task's settle latency (fabric clock).
+func (j *job) noteSettleLocked(now time.Time) {
+	if !j.firstRun.IsZero() {
+		if d := now.Sub(j.firstRun); d >= 0 {
+			j.latencies = append(j.latencies, d)
+		}
+	}
+}
+
+// overQuotaLocked reports whether the job's accounted bytes crossed its
+// declared budget.
+func (j *job) overQuotaLocked() bool {
+	return j.spec.ByteBudget > 0 && j.bytesIn+j.bytesOut > j.spec.ByteBudget
 }
 
 func newJob(sp Spec) *job {

@@ -1,6 +1,7 @@
 package jobs
 
 import (
+	"fmt"
 	"time"
 )
 
@@ -28,6 +29,8 @@ type JobStatus struct {
 	// job (fabric-level wire totals are in Snapshot.Fabric).
 	BytesIn  int64 `json:"bytes_in"`
 	BytesOut int64 `json:"bytes_out"`
+	// ByteBudget is the job's declared fabric byte quota (0 = unlimited).
+	ByteBudget int64 `json:"byte_budget,omitempty"`
 	// Share is the job's configured fraction of the total live weight.
 	Share float64 `json:"share"`
 }
@@ -64,6 +67,7 @@ func (s *Service) statusLocked(j *job, totalWeight int) JobStatus {
 		TaskSeconds: j.taskSeconds.Seconds(),
 		BytesIn:     j.bytesIn,
 		BytesOut:    j.bytesOut,
+		ByteBudget:  j.spec.ByteBudget,
 	}
 	if totalWeight > 0 && !j.state.Terminal() {
 		st.Share = float64(j.spec.Weight) / float64(totalWeight)
@@ -122,6 +126,21 @@ func (s *Service) Metrics() Snapshot {
 		snap.Jobs = append(snap.Jobs, s.statusLocked(s.jobs[name], tw))
 	}
 	return snap
+}
+
+// TaskLatencies returns the named job's per-task settle latencies, in
+// settle order: each task's fabric-clock delay from the job's first
+// dispatch to that task's final outcome (success or quarantine). This is
+// the distribution the chaos campaign's fairness phase gates on (p50/p99
+// small-vs-heavy tenants).
+func (s *Service) TaskLatencies(name string) ([]time.Duration, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownJob, name)
+	}
+	return append([]time.Duration(nil), j.latencies...), nil
 }
 
 // TaskSecondsByJob is a convenience view for tests and gates: job name to

@@ -1,0 +1,158 @@
+package jobs
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"triolet/internal/cluster"
+	"triolet/internal/serial"
+)
+
+// A submission whose declared payloads alone exceed the byte budget is
+// rejected at admission with the typed error — nothing is recorded.
+func TestByteBudgetAdmissionReject(t *testing.T) {
+	s := newTestService(t, Config{})
+	tasks := makeTasks(10, 9) // 10 × 3 bytes = 30 payload bytes
+	err := s.Submit(Spec{Name: "over", Kernel: "jobs.echo", Tasks: tasks, ByteBudget: 29})
+	if !errors.Is(err, ErrQuotaExceeded) {
+		t.Fatalf("submit over budget: %v, want ErrQuotaExceeded", err)
+	}
+	var qe *QuotaError
+	if !errors.As(err, &qe) {
+		t.Fatalf("submit over budget: %v, want *QuotaError", err)
+	}
+	if qe.Job != "over" || qe.Used != 30 || qe.Budget != 29 {
+		t.Fatalf("QuotaError = %+v, want {over 30 29}", qe)
+	}
+	if _, ok := s.Job("over"); ok {
+		t.Fatal("rejected job was admitted")
+	}
+	// The same spec fits with the budget raised to exactly the payload sum
+	// (results may still push it over at runtime — that is the sweep's job).
+	if err := s.Submit(Spec{Name: "over", Kernel: "jobs.echo", Tasks: tasks, ByteBudget: 30}); err != nil {
+		t.Fatalf("submit at budget: %v", err)
+	}
+}
+
+// A job whose results push it over its budget mid-run is degraded: pending
+// tasks quarantine with the quota message, already-settled work is kept,
+// and a sibling job without a budget is untouched.
+func TestByteBudgetRuntimeDegrade(t *testing.T) {
+	s := newTestService(t, Config{})
+	tasks := makeTasks(20, 10) // 3B payload → 11B result, ~14B accounted per task
+	if err := s.Submit(Spec{Name: "capped", Kernel: "jobs.echo", Tasks: tasks, ByteBudget: 70}); err != nil {
+		t.Fatalf("submit capped: %v", err)
+	}
+	freeTasks := makeTasks(6, 11)
+	if err := s.Submit(Spec{Name: "free", Kernel: "jobs.echo", Tasks: freeTasks}); err != nil {
+		t.Fatalf("submit free: %v", err)
+	}
+	// One worker so dispatch is serialized and the quota sweep sees real
+	// pending work once the budget is crossed.
+	serveUntilStopped(t, cluster.Config{Nodes: 2, CoresPerNode: 1}, s)
+
+	st, ok := s.Job("capped")
+	if !ok {
+		t.Fatal("capped job lost")
+	}
+	if st.State != Degraded.String() {
+		t.Fatalf("capped state %s, want degraded", st.State)
+	}
+	if st.Completed == 0 {
+		t.Fatal("quota degrade kept no completed work")
+	}
+	if st.Completed+st.Failed != len(tasks) {
+		t.Fatalf("capped settled %d+%d of %d tasks", st.Completed, st.Failed, len(tasks))
+	}
+	if st.BytesIn+st.BytesOut <= st.ByteBudget {
+		t.Fatalf("capped degraded under budget: %d+%d ≤ %d", st.BytesIn, st.BytesOut, st.ByteBudget)
+	}
+	results, quarantined, err := s.Result("capped")
+	if err != nil {
+		t.Fatalf("result capped: %v", err)
+	}
+	if len(quarantined) == 0 {
+		t.Fatal("no tasks quarantined by the quota sweep")
+	}
+	for idx, msg := range quarantined {
+		if !strings.Contains(msg, "over byte quota") {
+			t.Fatalf("task %d quarantine message %q lacks quota cause", idx, msg)
+		}
+		if results[idx] != nil {
+			t.Fatalf("quarantined task %d has a result", idx)
+		}
+	}
+	// The uncapped sibling on the same pool is unaffected.
+	if st, _ := s.Job("free"); st.State != Done.String() {
+		t.Fatalf("free job state %s, want done", st.State)
+	}
+	checkJobResults(t, s, "free", freeTasks)
+}
+
+// The v2 spec record round-trips the byte budget, and a v1 record (no
+// budget field) still decodes as unlimited.
+func TestSpecRecordByteBudgetRoundTrip(t *testing.T) {
+	sp := Spec{
+		Name: "q", Kernel: "jobs.echo", Weight: 3, MaxTaskAttempts: 2,
+		RetryBudget: 5, TaskTimeout: 40 * time.Millisecond, ByteBudget: 12345,
+		Tasks: makeTasks(4, 12),
+	}
+	got, err := decodeSpec("q", encodeSpec(sp))
+	if err != nil {
+		t.Fatalf("decodeSpec: %v", err)
+	}
+	if got.ByteBudget != sp.ByteBudget {
+		t.Fatalf("ByteBudget %d, want %d", got.ByteBudget, sp.ByteBudget)
+	}
+
+	// Hand-build the v1 layout: identical fields minus the budget.
+	w := serial.NewWriter(64)
+	w.U8(registrySpecV1)
+	w.String(sp.Kernel)
+	w.U32(uint32(sp.Weight))
+	w.U32(uint32(sp.MaxTaskAttempts))
+	w.U32(uint32(sp.RetryBudget))
+	w.U64(uint64(sp.TaskTimeout))
+	w.U32(uint32(len(sp.Tasks)))
+	for _, task := range sp.Tasks {
+		w.RawBytes(task)
+	}
+	v1, err := decodeSpec("q", w.Bytes())
+	if err != nil {
+		t.Fatalf("decode v1 spec: %v", err)
+	}
+	if v1.ByteBudget != 0 {
+		t.Fatalf("v1 spec decoded budget %d, want 0 (unlimited)", v1.ByteBudget)
+	}
+	if v1.Kernel != sp.Kernel || v1.TaskTimeout != sp.TaskTimeout || len(v1.Tasks) != len(sp.Tasks) {
+		t.Fatalf("v1 spec lost fields: %+v", v1)
+	}
+}
+
+// TaskLatencies exposes one settle latency per task, in settle order.
+func TestTaskLatenciesRecorded(t *testing.T) {
+	s := newTestService(t, Config{})
+	tasks := makeTasks(9, 13)
+	if err := s.Submit(Spec{Name: "lat", Kernel: "jobs.echo", Tasks: tasks}); err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	serveUntilStopped(t, cluster.Config{Nodes: 3, CoresPerNode: 1}, s)
+
+	lat, err := s.TaskLatencies("lat")
+	if err != nil {
+		t.Fatalf("TaskLatencies: %v", err)
+	}
+	if len(lat) != len(tasks) {
+		t.Fatalf("%d latencies for %d tasks", len(lat), len(tasks))
+	}
+	for i, d := range lat {
+		if d < 0 {
+			t.Fatalf("latency %d negative: %v", i, d)
+		}
+	}
+	if _, err := s.TaskLatencies("nope"); !errors.Is(err, ErrUnknownJob) {
+		t.Fatalf("unknown job: %v, want ErrUnknownJob", err)
+	}
+}

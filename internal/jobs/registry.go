@@ -13,9 +13,12 @@ import (
 // version byte so a future service can read an old registry.
 //
 //	spec (KindJobSpec):
-//	  U8(version=1) ‖ String(kernel) ‖ U32(weight) ‖ U32(maxAttempts) ‖
-//	  U32(retryBudget) ‖ U64(taskTimeout ns) ‖ U32(numTasks) ‖
-//	  RawBytes(task₀) … RawBytes(taskₙ₋₁)
+//	  U8(version=2) ‖ String(kernel) ‖ U32(weight) ‖ U32(maxAttempts) ‖
+//	  U32(retryBudget) ‖ U64(taskTimeout ns) ‖ U64(byteBudget) ‖
+//	  U32(numTasks) ‖ RawBytes(task₀) … RawBytes(taskₙ₋₁)
+//
+//	(version 1 is the same layout without the byteBudget field; decoding
+//	still accepts it, with an unlimited budget)
 //
 //	summary (KindJobDone):
 //	  U8(version=1) ‖ U8(state) ‖ U32(completed) ‖ U32(failed) ‖
@@ -25,7 +28,11 @@ import (
 // so a compacted registry still lets an auditor check a re-run against
 // the original results without storing them.
 
-const registryVersion = 1
+const (
+	registryVersion = 2
+	// registrySpecV1 is the pre-quota spec layout, still readable.
+	registrySpecV1 = 1
+)
 
 // encodeSpec serializes a (defaulted, validated) spec for its admission
 // record. The job name is not in the payload: the record's Job field
@@ -42,6 +49,7 @@ func encodeSpec(sp Spec) []byte {
 	w.U32(uint32(sp.MaxTaskAttempts))
 	w.U32(uint32(sp.RetryBudget))
 	w.U64(uint64(sp.TaskTimeout))
+	w.U64(uint64(sp.ByteBudget))
 	w.U32(uint32(len(sp.Tasks)))
 	for _, t := range sp.Tasks {
 		w.RawBytes(t)
@@ -52,8 +60,9 @@ func encodeSpec(sp Spec) []byte {
 // decodeSpec parses an admission record payload back into a Spec.
 func decodeSpec(name string, payload []byte) (Spec, error) {
 	r := serial.NewReader(payload)
-	if v := r.U8(); v != registryVersion {
-		return Spec{}, fmt.Errorf("spec record version %d (want %d)", v, registryVersion)
+	v := r.U8()
+	if v != registryVersion && v != registrySpecV1 {
+		return Spec{}, fmt.Errorf("spec record version %d (want ≤%d)", v, registryVersion)
 	}
 	sp := Spec{
 		Name:            name,
@@ -62,6 +71,9 @@ func decodeSpec(name string, payload []byte) (Spec, error) {
 		MaxTaskAttempts: int(r.U32()),
 		RetryBudget:     int(r.U32()),
 		TaskTimeout:     time.Duration(r.U64()),
+	}
+	if v >= registryVersion {
+		sp.ByteBudget = int64(r.U64())
 	}
 	n := int(r.U32())
 	if r.Err() == nil && n > r.Remaining() {
@@ -118,8 +130,9 @@ func encodeDone(sum doneSummary) []byte {
 
 func decodeDone(payload []byte) (doneSummary, error) {
 	r := serial.NewReader(payload)
-	if v := r.U8(); v != registryVersion {
-		return doneSummary{}, fmt.Errorf("summary record version %d (want %d)", v, registryVersion)
+	// The summary layout is unchanged since v1; accept either version.
+	if v := r.U8(); v != registryVersion && v != registrySpecV1 {
+		return doneSummary{}, fmt.Errorf("summary record version %d (want ≤%d)", v, registryVersion)
 	}
 	sum := doneSummary{
 		state:       State(r.U8()),

@@ -77,6 +77,12 @@ func (s *Service) Serve(ctx context.Context, sess *cluster.Session) error {
 			return serr
 		}
 
+		// Degrade jobs that crossed their declared byte budget: their
+		// still-pending tasks quarantine with a QuotaError message.
+		if qerr := s.sweepQuotas(clk.Now()); qerr != nil {
+			return qerr
+		}
+
 		// Fair-share dispatch onto idle, non-draining workers.
 		n, derr := s.dispatch(ctx, mux, clk.Now())
 		if derr != nil {
@@ -128,9 +134,7 @@ func (s *Service) dispatch(ctx context.Context, mux *cluster.Mux, now time.Time)
 	for _, p := range plan {
 		p.job.inflight[p.task] = inflight{worker: p.worker, start: now}
 		p.job.bytesIn += int64(len(p.job.spec.Tasks[p.task]))
-		if p.job.state == Queued {
-			p.job.state = Running
-		}
+		p.job.markRunningLocked(now)
 	}
 	s.mu.Unlock()
 	for _, p := range plan {
@@ -158,9 +162,7 @@ func (s *Service) runLocalOnce(mux *cluster.Mux, now time.Time) (bool, error) {
 		p := plan[0]
 		p.job.inflight[p.task] = inflight{worker: 0, start: now}
 		p.job.bytesIn += int64(len(p.job.spec.Tasks[p.task]))
-		if p.job.state == Queued {
-			p.job.state = Running
-		}
+		p.job.markRunningLocked(now)
 		a = cluster.MuxAssignment{
 			Job:     p.job.spec.Name,
 			Kernel:  p.job.spec.Kernel,
@@ -240,6 +242,55 @@ func (s *Service) sweepTimeouts(now time.Time) error {
 		q.j.failed[q.task] = q.msg
 		q.j.pending = removeTask(q.j.pending, q.task)
 		delete(q.j.notBefore, q.task)
+		q.j.noteSettleLocked(now)
+		if err := s.maybeCompleteLocked(q.j); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// sweepQuotas degrades jobs whose accounted fabric bytes (payloads
+// dispatched + results returned) crossed their declared ByteBudget. The
+// still-pending tasks quarantine durably with a QuotaError message — the
+// same write-ahead rung as any other failure — so the job stops consuming
+// fabric and completes Degraded once its in-flight attempts settle.
+func (s *Service) sweepQuotas(now time.Time) error {
+	type quarantined struct {
+		j        *job
+		task     int
+		attempts int
+		msg      string
+	}
+	var quarantine []quarantined
+	s.mu.Lock()
+	for _, name := range s.order {
+		j := s.jobs[name]
+		if j.state.Terminal() || len(j.pending) == 0 || !j.overQuotaLocked() {
+			continue
+		}
+		qe := &QuotaError{Job: j.spec.Name, Used: j.bytesIn + j.bytesOut, Budget: j.spec.ByteBudget}
+		for _, task := range j.pending {
+			quarantine = append(quarantine, quarantined{j: j, task: task, attempts: j.attempts[task], msg: qe.Error()})
+		}
+	}
+	s.mu.Unlock()
+	for _, q := range quarantine {
+		if err := s.cfg.Store.Append(checkpoint.Record{
+			Job: q.j.spec.Name, Task: q.task, Kind: checkpoint.KindFailed,
+			Attempts: q.attempts, Payload: []byte(q.msg),
+		}); err != nil {
+			return fmt.Errorf("jobs: checkpoint quota quarantine %q/%d: %w", q.j.spec.Name, q.task, err)
+		}
+		s.mu.Lock()
+		if q.j.state.Terminal() || q.j.settledTask(q.task) {
+			s.mu.Unlock()
+			continue
+		}
+		q.j.failed[q.task] = q.msg
+		q.j.pending = removeTask(q.j.pending, q.task)
+		delete(q.j.notBefore, q.task)
+		q.j.noteSettleLocked(now)
 		if err := s.maybeCompleteLocked(q.j); err != nil {
 			return err
 		}
@@ -329,6 +380,7 @@ func (s *Service) handleTaskDone(ev cluster.MuxEvent, now time.Time) error {
 		j.completed[ev.Task] = ev.Result
 		j.pending = removeTask(j.pending, ev.Task)
 		delete(j.notBefore, ev.Task)
+		j.noteSettleLocked(now)
 		return s.maybeCompleteLocked(j)
 	}
 
@@ -361,6 +413,7 @@ func (s *Service) handleTaskDone(ev cluster.MuxEvent, now time.Time) error {
 	j.failed[ev.Task] = ev.Err
 	j.pending = removeTask(j.pending, ev.Task)
 	delete(j.notBefore, ev.Task)
+	j.noteSettleLocked(now)
 	return s.maybeCompleteLocked(j)
 }
 

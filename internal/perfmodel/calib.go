@@ -65,6 +65,44 @@ func measure(units int, f func()) float64 {
 
 var sink float64 // defeat dead-code elimination
 
+// CalibratePlanning measures only what the AutoPar planner consumes: the
+// Triolet-implementation unit costs plus the serialization, allocation,
+// and grid-merge costs. Skipping the RefC/Eden variants makes it ~3x
+// cheaper than Calibrate, which matters because the planner runs it at
+// tool startup rather than once per figure sweep. RefC/Eden slots are
+// left zero — a planning calibration must not feed the figure model.
+func CalibratePlanning() Calibration {
+	var c Calibration
+
+	{
+		in := mriq.Gen(192, 256, 42)
+		units := in.NumVoxels() * in.NumSamples()
+		c.MRIQUnit[Triolet] = measure(units, func() { sink += float64(mriq.SeqTriolet(in)[0].Re) })
+	}
+	{
+		in := sgemm.Gen(320, 320, 320, 42)
+		c.SGEMMMac[Triolet] = measure(320*320*320, func() { sink += float64(sgemm.SeqTriolet(in).Data[0]) })
+	}
+	{
+		in := tpacf.Gen(96, 4, 20, 42)
+		n := int64(96)
+		s := int64(4)
+		units := int(n*(n-1)/2 + s*(n*n) + s*(n*(n-1)/2))
+		c.TPACFPair[Triolet] = measure(units, func() { sink += float64(tpacf.SeqTriolet(in).DD[0]) })
+	}
+	{
+		in := cutcp.Gen(64, domain.Dim3{D: 16, H: 16, W: 16}, 0.5, 2.0, 42)
+		units := 0
+		for _, a := range in.Atoms {
+			zr, yr, xr := cutcp.AtomBox(in.Geo, a)
+			units += zr.Len() * yr.Len() * xr.Len()
+		}
+		c.CUTCPCell[Triolet] = measure(units, func() { sink += float64(cutcp.SeqTriolet(in)[0]) })
+	}
+	measureCommon(&c)
+	return c
+}
+
 // Calibrate measures every unit cost on the current machine. It takes on
 // the order of a second and should be called once per process.
 func Calibrate() Calibration {
@@ -118,6 +156,13 @@ func Calibrate() Calibration {
 		c.CUTCPCell[Eden] = measure(units, func() { sink += float64(cutcp.SeqEden(in)[0]) })
 	}
 
+	measureCommon(&c)
+	return c
+}
+
+// measureCommon fills the implementation-independent costs shared by
+// Calibrate and CalibratePlanning.
+func measureCommon(c *Calibration) {
 	// Serialization: block-encode + decode 1 MB of float32.
 	{
 		xs := make([]float32, 256*1024)
@@ -152,6 +197,4 @@ func Calibrate() Calibration {
 			sink += float64(dst[0])
 		})
 	}
-
-	return c
 }

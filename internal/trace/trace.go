@@ -158,6 +158,26 @@ func (t *Tracer) Count(phase string) int {
 	return n
 }
 
+// InstantValues returns each instant event's Bytes value for phase, in
+// record order. Instants double as metric samples (AutoPar records
+// "plan.predicted"/"plan.observed" wall-µs and byte volumes this way), and
+// per-sample access — not just the Count/PhaseBytes aggregates — is what
+// lets a test compare an individual prediction against its observation.
+func (t *Tracer) InstantValues(phase string) []int64 {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var out []int64
+	for _, e := range t.events {
+		if e.Kind == KindInstant && e.Phase == phase {
+			out = append(out, e.Bytes)
+		}
+	}
+	return out
+}
+
 // PhaseBytes sums instant-event bytes per phase.
 func (t *Tracer) PhaseBytes() map[string]int64 {
 	out := map[string]int64{}
