@@ -27,9 +27,12 @@ import (
 	"time"
 
 	"triolet/internal/cluster"
+	"triolet/internal/domain"
 	"triolet/internal/mpi"
+	"triolet/internal/parboil/cutcp"
 	"triolet/internal/parboil/sgemm"
 	"triolet/internal/parboil/tpacf"
+	"triolet/internal/stencil"
 	"triolet/internal/transport"
 )
 
@@ -38,6 +41,10 @@ type msgResult struct {
 	Name     string `json:"name"`
 	Bytes    int64  `json:"bytes"`
 	Messages int64  `json:"messages"`
+	// HaloBytes is the sender-attributed ghost/replication traffic subset
+	// of Bytes (stencil ghost rows, cutcp duplicated boundary atoms). Zero
+	// for workloads with no halo concept.
+	HaloBytes int64 `json:"halo_bytes,omitempty"`
 	// LegacyBytes/LegacyMessages are the same workload with coalescing
 	// disabled; zero for cases that only run coalesced.
 	LegacyBytes    int64 `json:"legacy_bytes,omitempty"`
@@ -73,7 +80,7 @@ func runAppCase(name string, master func(s *cluster.Session) error) (msgResult, 
 	if err != nil {
 		return msgResult{}, fmt.Errorf("%s: %w", name, err)
 	}
-	return msgResult{Name: name, Bytes: stats.Bytes, Messages: stats.Messages}, nil
+	return msgResult{Name: name, Bytes: stats.Bytes, Messages: stats.Messages, HaloBytes: stats.HaloBytes}, nil
 }
 
 // farmFrames drives the synthetic farm control-plane workload on a 2-rank
@@ -159,6 +166,34 @@ func runMsgGate(jsonOut bool, baselinePath, writeBaselinePath string) int {
 	}
 	report.Cases = append(report.Cases, r)
 
+	// Halo-accounted workloads. The stencil exchanges radius-1 ghost rows
+	// every sweep and cutcp's slab decomposition replicates boundary atoms;
+	// both attribute that traffic via SendHalo/AddHaloBytes. The gate fails
+	// if the halo column reads zero — that means the attribution regressed
+	// and ghost traffic is hiding inside ordinary payload bytes again.
+	heatIn := genHeatGrid(48, 40, 211)
+	r, err = runAppCase("stencil-heat", func(s *cluster.Session) error {
+		par := stencil.Params[float64]{Radius: 1, Boundary: stencil.Mirror}
+		_, err := benchHeat.Run(s, heatIn, par, 6)
+		return err
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "msg-gate: %v\n", err)
+		return 1
+	}
+	report.Cases = append(report.Cases, r)
+
+	cutcpIn := cutcp.Gen(160, domain.Dim3{D: 10, H: 12, W: 11}, 0.5, 1.6, 131)
+	r, err = runAppCase("cutcp-slab", func(s *cluster.Session) error {
+		_, err := cutcp.TrioletSlab(s, cutcpIn)
+		return err
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "msg-gate: %v\n", err)
+		return 1
+	}
+	report.Cases = append(report.Cases, r)
+
 	coal, err := farmFrames(false)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "msg-gate: farm-frames: %v\n", err)
@@ -185,8 +220,8 @@ func runMsgGate(jsonOut bool, baselinePath, writeBaselinePath string) int {
 			return 1
 		}
 	} else {
-		fmt.Printf("%-12s %12s %10s %14s %14s %10s\n",
-			"case", "bytes", "messages", "legacy bytes", "legacy msgs", "saved")
+		fmt.Printf("%-12s %12s %10s %12s %14s %14s %10s\n",
+			"case", "bytes", "messages", "halo bytes", "legacy bytes", "legacy msgs", "saved")
 		for _, c := range report.Cases {
 			saved := "-"
 			if c.LegacyBytes > 0 {
@@ -197,14 +232,33 @@ func runMsgGate(jsonOut bool, baselinePath, writeBaselinePath string) int {
 				lb = fmt.Sprint(c.LegacyBytes)
 				lm = fmt.Sprint(c.LegacyMessages)
 			}
-			fmt.Printf("%-12s %12d %10d %14s %14s %10s\n",
-				c.Name, c.Bytes, c.Messages, lb, lm, saved)
+			hb := "-"
+			if c.HaloBytes > 0 {
+				hb = fmt.Sprint(c.HaloBytes)
+			}
+			fmt.Printf("%-12s %12d %10d %12s %14s %14s %10s\n",
+				c.Name, c.Bytes, c.Messages, hb, lb, lm, saved)
 		}
 	}
 
-	// The coalescing-win criterion holds regardless of baseline: the farm
-	// control-plane case must keep saving at least 25% of legacy bytes.
+	// Two criteria hold regardless of baseline: halo-bearing workloads must
+	// attribute a non-zero halo volume, and the farm control-plane case must
+	// keep saving at least 25% of legacy bytes through coalescing.
 	exit := 0
+	haloCases := map[string]bool{"stencil-heat": true, "cutcp-slab": true}
+	for _, c := range report.Cases {
+		if !haloCases[c.Name] {
+			continue
+		}
+		if c.HaloBytes <= 0 {
+			fmt.Fprintf(os.Stderr, "msg-gate: FAIL %s: halo bytes %d, want > 0 (ghost traffic no longer attributed)\n",
+				c.Name, c.HaloBytes)
+			exit = 1
+		} else {
+			fmt.Fprintf(os.Stderr, "msg-gate: ok %s: %d of %d bytes attributed to halo traffic\n",
+				c.Name, c.HaloBytes, c.Bytes)
+		}
+	}
 	for _, c := range report.Cases {
 		if c.LegacyBytes == 0 {
 			continue
@@ -275,6 +329,9 @@ func runMsgGate(jsonOut bool, baselinePath, writeBaselinePath string) int {
 		}
 		check("bytes", c.Bytes, b.Bytes)
 		check("messages", c.Messages, b.Messages)
+		if b.HaloBytes > 0 {
+			check("halo bytes", c.HaloBytes, b.HaloBytes)
+		}
 	}
 	return exit
 }

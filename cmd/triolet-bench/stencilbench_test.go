@@ -1,0 +1,96 @@
+package main
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"math"
+	"testing"
+
+	"triolet/internal/cluster"
+	"triolet/internal/stencil"
+)
+
+// Golden tests pin the stencil benchmark workloads to committed checksums:
+// the grids are deterministic, the kernels fix their arithmetic order, and
+// every execution path is bit-identical, so the FNV-1a digest of the final
+// grid is a single committed number. A digest change means the workload's
+// semantics changed — regenerate deliberately or find the regression.
+
+const (
+	goldenHeatSum uint64 = 0x332773e2fbe7f980
+	goldenLifeSum uint64 = 0xcaaa87fc2af09b25
+)
+
+func checksumF64(xs []float64) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	for _, x := range xs {
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(x))
+		h.Write(buf[:])
+	}
+	return h.Sum64()
+}
+
+func checksumI64(xs []int64) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	for _, x := range xs {
+		binary.LittleEndian.PutUint64(buf[:], uint64(x))
+		h.Write(buf[:])
+	}
+	return h.Sum64()
+}
+
+// TestGoldenHeat pins 10 generations of heat diffusion (Mirror boundary)
+// through the collective-backed Op on a 4-node cluster, and checks the
+// distributed result is bit-identical to the local sweep.
+func TestGoldenHeat(t *testing.T) {
+	g := genHeatGrid(64, 48, 97)
+	par := stencil.Params[float64]{Radius: 1, Boundary: stencil.Mirror}
+	local := stencil.Stencil[float64]{Params: par, Fn: benchHeat.Fn()}.Iterate(nil, g, 10)
+
+	dist := local
+	_, err := cluster.Run(cluster.Config{Nodes: 4, CoresPerNode: 2}, func(s *cluster.Session) error {
+		var err error
+		dist, err = benchHeat.Run(s, g, par, 10)
+		return err
+	})
+	if err != nil {
+		t.Fatalf("heat run: %v", err)
+	}
+	for i := range local.Data {
+		if dist.Data[i] != local.Data[i] {
+			t.Fatalf("cell %d: distributed %v, local %v", i, dist.Data[i], local.Data[i])
+		}
+	}
+	if sum := checksumF64(dist.Data); sum != goldenHeatSum {
+		t.Fatalf("heat checksum %#x, golden %#x", sum, goldenHeatSum)
+	}
+}
+
+// TestGoldenLife pins 12 generations of Game of Life (Wrap boundary)
+// through the farm-backed FarmOp, likewise cross-checked against the local
+// sweep.
+func TestGoldenLife(t *testing.T) {
+	g := genLifeGrid(56, 40, 59)
+	par := stencil.Params[int64]{Radius: 1, Boundary: stencil.Wrap}
+	local := stencil.Stencil[int64]{Params: par, Fn: benchLife.Fn()}.Iterate(nil, g, 12)
+
+	dist := local
+	_, err := cluster.Run(cluster.Config{Nodes: 4, CoresPerNode: 2}, func(s *cluster.Session) error {
+		var err error
+		dist, err = benchLife.Run(s, g, par, 12, stencil.FarmRunOptions{})
+		return err
+	})
+	if err != nil {
+		t.Fatalf("life run: %v", err)
+	}
+	for i := range local.Data {
+		if dist.Data[i] != local.Data[i] {
+			t.Fatalf("cell %d: distributed %d, local %d", i, dist.Data[i], local.Data[i])
+		}
+	}
+	if sum := checksumI64(dist.Data); sum != goldenLifeSum {
+		t.Fatalf("life checksum %#x, golden %#x", sum, goldenLifeSum)
+	}
+}

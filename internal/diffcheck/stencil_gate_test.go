@@ -1,0 +1,67 @@
+package diffcheck
+
+import (
+	"testing"
+
+	"triolet/internal/stencil"
+)
+
+// Stencil gate: the iterated stencil skeleton must be bit-identical across
+// {seq, pool, farm@1/2/4/8} × {lossless, lossy} × {fresh, WAL-resume}.
+// Integer grids use the full-window sum kernel; the float grid uses the
+// 5-point heat kernel, where bit-identity IS the FP contract (per-cell
+// arithmetic order is mode-independent).
+
+var allStencilBoundaries = []stencil.Boundary{
+	stencil.Normal, stencil.Wrap, stencil.Mirror, stencil.Border,
+}
+
+func mustAgreeStencil(t *testing.T, m *StencilMismatch, err error) {
+	t.Helper()
+	if err != nil {
+		t.Fatalf("stencil oracle error: %v", err)
+	}
+	if m != nil {
+		t.Fatal(m)
+	}
+}
+
+// TestGateStencilFullMatrix drives the full mode matrix (including lossy
+// and kill+resume cells) once per kernel: the integer full-window sum under
+// Wrap, and the float heat kernel under Normal. Other boundary strategies
+// ride the cheaper matrix in TestGateStencilBoundariesAndGeometry — the
+// lossy cells exercise the fabric, not the boundary math.
+func TestGateStencilFullMatrix(t *testing.T) {
+	modes := StencilModes()
+	c := StencilCase{H: 13, W: 7, Seed: 11, Iters: 4}
+	par := stencil.Params[int64]{Radius: 2, Boundary: stencil.Wrap, Border: -3}
+	m, err := CheckStencilI64(c, par, modes, Options{})
+	mustAgreeStencil(t, m, err)
+	m, err = CheckStencilHeat(c, stencil.Normal, 17.5, modes, Options{})
+	mustAgreeStencil(t, m, err)
+}
+
+// TestGateStencilBoundariesAndGeometry sweeps every boundary strategy over
+// degenerate shapes on the cheaper cells (farm@4 fresh lossless plus the
+// local modes).
+func TestGateStencilBoundariesAndGeometry(t *testing.T) {
+	modes := []StencilMode{
+		{Exec: Seq}, {Exec: LocalPar},
+		{Exec: Par, Nodes: 4},
+	}
+	cases := []StencilCase{
+		{H: 9, W: 6, Seed: 21, Iters: 3},
+		{H: 1, W: 8, Seed: 22, Iters: 3},
+		{H: 8, W: 1, Seed: 23, Iters: 3},
+		{H: 2, W: 2, Seed: 24, Iters: 2}, // radius exceeds both dimensions
+	}
+	for _, c := range cases {
+		for _, b := range allStencilBoundaries {
+			for _, radius := range []int{1, 3} {
+				par := stencil.Params[int64]{Radius: radius, Boundary: b, Border: 9}
+				m, err := CheckStencilI64(c, par, modes, Options{})
+				mustAgreeStencil(t, m, err)
+			}
+		}
+	}
+}

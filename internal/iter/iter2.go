@@ -180,6 +180,14 @@ func (m Matrix2[T]) Row(y int) []T { return m.Data[y*m.W : (y+1)*m.W : (y+1)*m.W
 // At returns the element at (y, x).
 func (m Matrix2[T]) At(y, x int) T { return m.Data[y*m.W+x] }
 
+// Clone returns a deep copy. Double-buffered consumers (iterated stencils)
+// clone once and then alternate buffers in place.
+func (m Matrix2[T]) Clone() Matrix2[T] {
+	cp := make([]T, len(m.Data))
+	copy(cp, m.Data)
+	return Matrix2[T]{H: m.H, W: m.W, Data: cp}
+}
+
 // MatrixRows iterates over a matrix's rows as zero-copy slice views — the
 // post-fusion form of the paper's rows function, where each row iterator
 // has been inlined down to direct contiguous array access.

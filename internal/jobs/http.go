@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"strings"
 	"time"
@@ -21,6 +22,21 @@ import (
 // Task payloads cross the HTTP boundary base64-encoded — they are arbitrary
 // kernel input bytes, not text.
 
+// ErrBodyTooLarge reports a POST /jobs body over Config.MaxBodyBytes. The
+// HTTP surface answers it with 413 and a *BodyLimitError.
+var ErrBodyTooLarge = errors.New("jobs: request body too large")
+
+// BodyLimitError carries the cap behind an ErrBodyTooLarge rejection.
+type BodyLimitError struct {
+	Limit int64 // the configured MaxBodyBytes
+}
+
+func (e *BodyLimitError) Error() string {
+	return fmt.Sprintf("jobs: request body exceeds %d byte limit", e.Limit)
+}
+
+func (e *BodyLimitError) Unwrap() error { return ErrBodyTooLarge }
+
 // specJSON is the POST /jobs request body.
 type specJSON struct {
 	Name            string   `json:"name"`
@@ -30,6 +46,23 @@ type specJSON struct {
 	MaxTaskAttempts int      `json:"max_task_attempts,omitempty"`
 	RetryBudget     int      `json:"retry_budget,omitempty"`
 	TaskTimeoutMS   int      `json:"task_timeout_ms,omitempty"`
+	ByteBudget      int64    `json:"byte_budget,omitempty"`
+}
+
+// decodedLen computes a standard-encoding payload's decoded byte length from
+// the encoded text alone — no allocation, just the padding arithmetic.
+func decodedLen(enc string) (int64, error) {
+	if len(enc)%4 != 0 {
+		return 0, base64.CorruptInputError(len(enc))
+	}
+	n := int64(len(enc)) / 4 * 3
+	switch {
+	case strings.HasSuffix(enc, "=="):
+		n -= 2
+	case strings.HasSuffix(enc, "="):
+		n--
+	}
+	return n, nil
 }
 
 func (sj specJSON) toSpec() (Spec, error) {
@@ -40,6 +73,23 @@ func (sj specJSON) toSpec() (Spec, error) {
 		MaxTaskAttempts: sj.MaxTaskAttempts,
 		RetryBudget:     sj.RetryBudget,
 		TaskTimeout:     time.Duration(sj.TaskTimeoutMS) * time.Millisecond,
+		ByteBudget:      sj.ByteBudget,
+	}
+	// Quota pre-check on encoded lengths: an over-quota submission is
+	// rejected before any decoded payload is allocated, so a hostile spec
+	// cannot make the master materialize bytes its own budget forbids.
+	if sj.ByteBudget > 0 {
+		var need int64
+		for i, enc := range sj.Tasks {
+			n, err := decodedLen(enc)
+			if err != nil {
+				return Spec{}, fmt.Errorf("task %d: %w", i, err)
+			}
+			need += n
+		}
+		if need > sj.ByteBudget {
+			return Spec{}, &QuotaError{Job: sj.Name, Used: need, Budget: sj.ByteBudget}
+		}
 	}
 	for i, enc := range sj.Tasks {
 		raw, err := base64.StdEncoding.DecodeString(enc)
@@ -88,9 +138,34 @@ func (s *Service) Handler() http.Handler {
 }
 
 func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	// Admission control on bytes before admission control on jobs: stop
+	// reading at the configured cap rather than buffering an unbounded
+	// spec.
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	dec := json.NewDecoder(body)
 	var sj specJSON
-	if err := json.NewDecoder(r.Body).Decode(&sj); err != nil {
+	if err := dec.Decode(&sj); err != nil {
+		if errors.As(err, new(*http.MaxBytesError)) {
+			http.Error(w, (&BodyLimitError{Limit: s.cfg.MaxBodyBytes}).Error(),
+				http.StatusRequestEntityTooLarge)
+			return
+		}
 		http.Error(w, fmt.Sprintf("bad spec: %v", err), http.StatusBadRequest)
+		return
+	}
+	// A submission is exactly one JSON document. Anything after it —
+	// concatenated documents, smuggled bytes — is a malformed request, not
+	// a spec.
+	var extra json.RawMessage
+	switch err := dec.Decode(&extra); {
+	case errors.Is(err, io.EOF):
+		// clean end of body
+	case errors.As(err, new(*http.MaxBytesError)):
+		http.Error(w, (&BodyLimitError{Limit: s.cfg.MaxBodyBytes}).Error(),
+			http.StatusRequestEntityTooLarge)
+		return
+	default:
+		http.Error(w, "bad spec: trailing data after JSON document", http.StatusBadRequest)
 		return
 	}
 	sp, err := sj.toSpec()

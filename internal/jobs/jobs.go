@@ -185,6 +185,11 @@ type Config struct {
 	// live (non-terminal) jobs (default 16). Submissions beyond it fail
 	// fast with an AdmissionError.
 	MaxQueued int
+	// MaxBodyBytes caps a POST /jobs request body (default 8 MiB). Like
+	// MaxQueued it is admission control, but on bytes: the HTTP surface
+	// stops reading at the cap and answers 413 with a typed error, so one
+	// client cannot balloon the master's memory with an unbounded spec.
+	MaxBodyBytes int64
 	// Store is the durable job registry (default: an in-memory store —
 	// crash-safety requires a checkpoint.WAL).
 	Store checkpoint.Store
@@ -213,6 +218,9 @@ type Config struct {
 func (cfg Config) withDefaults() Config {
 	if cfg.MaxQueued <= 0 {
 		cfg.MaxQueued = 16
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 8 << 20
 	}
 	if cfg.Store == nil {
 		cfg.Store = checkpoint.NewMem()

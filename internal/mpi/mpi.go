@@ -144,6 +144,16 @@ func (c *Comm) SendCtx(ctx context.Context, dst, tag int, payload []byte) error 
 	return c.send(ctx, dst, tag, payload)
 }
 
+// SendHalo is Send with halo attribution: the payload bytes are additionally
+// counted in the fabric's Stats.HaloBytes, so ghost-row and boundary-
+// replication traffic is separable from task traffic in the msg-gate.
+// Attribution is once per logical payload; reliable-mode retries do not
+// inflate it.
+func (c *Comm) SendHalo(dst, tag int, payload []byte) error {
+	c.f.AddHaloBytes(int64(len(payload)))
+	return c.Send(dst, tag, payload)
+}
+
 // SendShared delivers payload to dst by reference: the zero-copy path for
 // buffers the sender will never touch again (serial.Raw views of backing
 // arrays, freshly marshalled codec output). Traffic is metered exactly

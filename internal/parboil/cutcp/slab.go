@@ -30,6 +30,10 @@ import (
 // TestSlabReducesTraffic and BenchmarkAblationSlabVsReplicated quantify
 // the win the paper's analysis predicts.
 
+// atomWireBytes is one atom's encoded size in atomsCodec (4 × F32), used to
+// attribute duplicated boundary atoms as halo bytes.
+const atomWireBytes = 16
+
 // slabTask is one node's input: the atoms relevant to its slab plus the
 // slab's Z-extent within the full geometry.
 type slabTask struct {
@@ -113,16 +117,27 @@ func TrioletSlab(s *cluster.Session, in *Input) ([]float32, error) {
 	g := in.Geo
 	slabs := domain.BlockPartition(g.Dim.D, nodes)
 
-	// Route each atom to every slab its cutoff box intersects.
+	// Route each atom to every slab its cutoff box intersects. Atoms near a
+	// slab boundary land in multiple slabs: those duplicate copies are the
+	// decomposition's ghost data, and their wire size is attributed as halo
+	// traffic so the msg-gate can see the replication cost instead of it
+	// hiding inside ordinary task bytes.
 	routed := make([][]Atom, nodes)
+	var dupBytes int64
 	for _, a := range in.Atoms {
 		zr, _, _ := AtomBox(g, a)
+		hits := 0
 		for sIdx, slab := range slabs {
 			if !slab.Intersect(zr).Empty() {
 				routed[sIdx] = append(routed[sIdx], a)
+				hits++
 			}
 		}
+		if hits > 1 {
+			dupBytes += int64(hits-1) * atomWireBytes
+		}
 	}
+	s.Fabric().AddHaloBytes(dupBytes)
 
 	src := core.FuncSource[slabTask]{
 		N: nodes,

@@ -5,6 +5,7 @@ import (
 
 	"triolet/internal/cluster"
 	"triolet/internal/diffcheck"
+	"triolet/internal/domain"
 	"triolet/internal/parboil"
 )
 
@@ -93,5 +94,45 @@ func TestAtomSlabBinsCoverWholeGrid(t *testing.T) {
 	}
 	if d := parboil.MaxAbsDiff(stitched, whole); d != 0 {
 		t.Fatalf("stitched slabs differ by %v", d)
+	}
+}
+
+// TestSlabHaloAttribution: the duplicate atom copies the router sends to
+// both neighbours are accounted as halo bytes — exactly (copies-1) × wire
+// size per atom, and zero on a single node (nothing is duplicated).
+func TestSlabHaloAttribution(t *testing.T) {
+	in := smallInput(200, 47)
+	for _, nodes := range []int{1, 4, 8} {
+		cfg := cluster.Config{Nodes: nodes, CoresPerNode: 1}
+		stats, err := cluster.Run(cfg, func(s *cluster.Session) error {
+			_, err := TrioletSlab(s, in)
+			return err
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		slabs := domain.BlockPartition(in.Geo.Dim.D, nodes)
+		var want int64
+		for _, a := range in.Atoms {
+			zr, _, _ := AtomBox(in.Geo, a)
+			hits := 0
+			for _, slab := range slabs {
+				if !slab.Intersect(zr).Empty() {
+					hits++
+				}
+			}
+			if hits > 1 {
+				want += int64(hits-1) * atomWireBytes
+			}
+		}
+		if stats.HaloBytes != want {
+			t.Fatalf("nodes=%d: HaloBytes %d, want %d", nodes, stats.HaloBytes, want)
+		}
+		if nodes == 1 && want != 0 {
+			t.Fatalf("single node expected no duplication, computed %d", want)
+		}
+		if nodes >= 4 && want == 0 {
+			t.Fatalf("nodes=%d: expected boundary duplication, computed none", nodes)
+		}
 	}
 }

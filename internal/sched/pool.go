@@ -41,6 +41,21 @@ func alignSplit(lo, mid int) int {
 	return mid
 }
 
+// RowGrain returns the grain for a parallel loop whose iteration unit is one
+// row of a width-w grid: the smallest row count whose cells span at least
+// BlockAlign elements, so row-unit leaves keep feeding full-width block
+// kernels. Because the loop counts rows, every split lands on a whole-row
+// boundary regardless of where alignSplit snaps — the offset-base contract
+// above composes with row units instead of fighting them. Stencil slab
+// sweeps rely on this: a leaf never ends mid-row, so a row is written by
+// exactly one worker.
+func RowGrain(w int) int {
+	if w <= 0 || w >= BlockAlign {
+		return 1
+	}
+	return (BlockAlign + w - 1) / w
+}
+
 // Pool is a fixed set of worker goroutines executing parallel regions. One
 // Pool per virtual node models the node's cores. A Pool is safe for use by
 // one region at a time (the node's control goroutine); the paper's

@@ -76,6 +76,14 @@ func IntC() Codec[int] {
 	}
 }
 
+// I64C is the codec for a single int64.
+func I64C() Codec[int64] {
+	return Funcs[int64]{
+		Enc: func(w *Writer, v int64) { w.U64(uint64(v)) },
+		Dec: func(r *Reader) int64 { return int64(r.U64()) },
+	}
+}
+
 // F64C is the codec for a single float64.
 func F64C() Codec[float64] {
 	return Funcs[float64]{

@@ -1,0 +1,410 @@
+package stencil
+
+import (
+	"fmt"
+
+	"triolet/internal/cluster"
+	"triolet/internal/core"
+	"triolet/internal/domain"
+	"triolet/internal/iter"
+	"triolet/internal/mpi"
+	"triolet/internal/sched"
+	"triolet/internal/serial"
+)
+
+// haloTag carries halo-exchange payloads. It lives in its own region of the
+// user tag space, below the farm (MaxUserTag-1..-3) and mux
+// (MaxUserTag-4..-6) control tags.
+const haloTag = mpi.MaxUserTag - 16
+
+// Partition is the row-slab partition map of an h×w grid over a fixed rank
+// count. Every rank derives the identical map from (h, w, ranks) alone —
+// following the distributed-ranges model, the distribution owns the map and
+// halo exchange plans are computed locally, with no negotiation traffic.
+// Slabs are contiguous and cover [0, h); when ranks exceed rows, trailing
+// slabs are empty and their ranks sit the exchange out.
+type Partition struct {
+	H, W int
+	Rows []domain.Range // one half-open row range per rank, in rank order
+}
+
+// NewPartition block-partitions the h rows of an h×w grid over ranks.
+func NewPartition(h, w, ranks int) Partition {
+	return Partition{H: h, W: w, Rows: domain.BlockPartition(h, ranks)}
+}
+
+// Ranks reports the partition's rank count.
+func (p Partition) Ranks() int { return len(p.Rows) }
+
+// OwnerOf reports the rank owning global row y, or -1 if y is out of grid.
+func (p Partition) OwnerOf(y int) int {
+	for r, rng := range p.Rows {
+		if rng.Contains(y) {
+			return r
+		}
+	}
+	return -1
+}
+
+// ghostRows lists, in slot order, the global source row filling each ghost
+// slot of rank's slab: first the radius rows above it (covering
+// [Lo-radius, Lo)), then the radius rows below ([Hi, Hi+radius)). A source
+// of -1 means the slot needs no remote data: it resolves to the border
+// constant, or — under Normal — is never read. Out-of-grid slots map
+// through the boundary strategy, so under Wrap or Mirror a slot's source
+// can be any row of the grid, not just an adjacent slab's: radius ≥ slab
+// height and single-slab self-sources fall out of the same arithmetic.
+func ghostRows(p Partition, rank, radius int, b Boundary) []int {
+	own := p.Rows[rank]
+	if own.Empty() || radius == 0 {
+		return nil
+	}
+	srcs := make([]int, 0, 2*radius)
+	for k := 0; k < radius; k++ {
+		srcs = append(srcs, mapRow(own.Lo-radius+k, p.H, b))
+	}
+	for k := 0; k < radius; k++ {
+		srcs = append(srcs, mapRow(own.Hi+k, p.H, b))
+	}
+	return srcs
+}
+
+func mapRow(y, n int, b Boundary) int {
+	if m, ok := mapIndex(y, n, b); ok {
+		return m
+	}
+	return -1
+}
+
+// haloPlan is one rank's precomputed exchange schedule. Sender and receiver
+// derive matching plans from the shared partition map: rank i's sendTo[j]
+// lists exactly the rows rank j's recvFrom[i] expects, in the same order.
+type haloPlan struct {
+	// sendTo[j] lists this rank's own global rows that fill rank j's ghost
+	// slots, in j's slot order.
+	sendTo [][]int
+	// recvFrom[i] lists this rank's ghost slots filled by rank i's rows,
+	// in slot order (slots 0..radius-1 top, radius..2radius-1 bottom).
+	recvFrom [][]int
+	// local lists {slot, srcRow} pairs this rank resolves from its own
+	// rows (wrap/mirror wrapping back into the same slab).
+	local [][2]int
+	// borderSlots lists slots with no source row: border-constant fills,
+	// or never-read slots under Normal.
+	borderSlots []int
+}
+
+func newHaloPlan(p Partition, rank, radius int, b Boundary) haloPlan {
+	n := len(p.Rows)
+	pl := haloPlan{sendTo: make([][]int, n), recvFrom: make([][]int, n)}
+	own := p.Rows[rank]
+	for j := 0; j < n; j++ {
+		if j == rank {
+			continue
+		}
+		for _, src := range ghostRows(p, j, radius, b) {
+			if src >= 0 && own.Contains(src) {
+				pl.sendTo[j] = append(pl.sendTo[j], src)
+			}
+		}
+	}
+	for slot, src := range ghostRows(p, rank, radius, b) {
+		switch {
+		case src < 0:
+			pl.borderSlots = append(pl.borderSlots, slot)
+		case own.Contains(src):
+			pl.local = append(pl.local, [2]int{slot, src})
+		default:
+			pl.recvFrom[p.OwnerOf(src)] = append(pl.recvFrom[p.OwnerOf(src)], slot)
+		}
+	}
+	return pl
+}
+
+// Slab is one rank's share of a distributed stencil grid: its owned rows,
+// radius-r ghost storage above and below, a back buffer for double-buffered
+// sweeps, and reusable scratch for the exchange. The steady state of an
+// iterated slab reuses all grid-sized buffers; only the per-message wire
+// encoding allocates.
+type Slab[T any] struct {
+	Part Partition
+	Rank int
+
+	par     Params[T]
+	elems   serial.Codec[[]T]
+	rows    []T // front: nRows×W, current generation
+	back    []T
+	top     []T // radius×W ghost rows covering [Lo-radius, Lo)
+	bot     []T // radius×W ghost rows covering [Hi, Hi+radius)
+	plan    haloPlan
+	scratch []T
+}
+
+// NewSlab builds rank's slab from its share of the grid (rows is copied,
+// len must be Part.Rows[rank].Len()×W). elems is the wire codec for halo
+// and gather payloads.
+func NewSlab[T any](part Partition, rank int, par Params[T], elems serial.Codec[[]T], rows []T) (*Slab[T], error) {
+	if err := par.check(); err != nil {
+		return nil, err
+	}
+	if rank < 0 || rank >= len(part.Rows) {
+		return nil, fmt.Errorf("stencil: slab rank %d of %d", rank, len(part.Rows))
+	}
+	own := part.Rows[rank]
+	if len(rows) != own.Len()*part.W {
+		return nil, fmt.Errorf("stencil: slab %d got %d cells for %d rows of width %d",
+			rank, len(rows), own.Len(), part.W)
+	}
+	s := &Slab[T]{
+		Part:  part,
+		Rank:  rank,
+		par:   par,
+		elems: elems,
+		rows:  append([]T(nil), rows...),
+		back:  make([]T, len(rows)),
+		plan:  newHaloPlan(part, rank, par.Radius, par.Boundary),
+	}
+	if !own.Empty() && par.Radius > 0 {
+		s.top = make([]T, par.Radius*part.W)
+		s.bot = make([]T, par.Radius*part.W)
+	}
+	// Border-constant slots never change across iterations: fill once.
+	// (Under Normal a sourceless slot is never read and stays zero.)
+	if par.Boundary == Border {
+		for _, slot := range s.plan.borderSlots {
+			row := s.slotRow(slot)
+			for i := range row {
+				row[i] = par.Border
+			}
+		}
+	}
+	return s, nil
+}
+
+// Rows returns the slab's current generation (owned rows, no ghosts). The
+// slice is the live front buffer; it is valid until the next Sweep.
+func (s *Slab[T]) Rows() []T { return s.rows }
+
+// slotRow returns ghost slot's backing row (slots index top then bottom).
+func (s *Slab[T]) slotRow(slot int) []T {
+	w := s.Part.W
+	if slot < s.par.Radius {
+		return s.top[slot*w : (slot+1)*w]
+	}
+	k := slot - s.par.Radius
+	return s.bot[k*w : (k+1)*w]
+}
+
+// ownRow returns the front-buffer row at global index y.
+func (s *Slab[T]) ownRow(y int) []T {
+	w := s.Part.W
+	off := (y - s.Part.Rows[s.Rank].Lo) * w
+	return s.rows[off : off+w]
+}
+
+// ExchangeHalos refreshes the slab's ghost rows from the cluster's current
+// front buffers. Every rank with a non-empty plan must call it once per
+// sweep; the fabric buffers sends, so posting all sends before any receive
+// cannot deadlock. One message per peer per direction carries the peer's
+// needed rows concatenated in its slot order, encoded with the slab's
+// element codec; the payload is attributed to Stats.HaloBytes via SendHalo.
+func (s *Slab[T]) ExchangeHalos(c *mpi.Comm) error {
+	w := s.Part.W
+	for _, lr := range s.plan.local {
+		copy(s.slotRow(lr[0]), s.ownRow(lr[1]))
+	}
+	for j, rows := range s.plan.sendTo {
+		if len(rows) == 0 {
+			continue
+		}
+		if cap(s.scratch) < len(rows)*w {
+			s.scratch = make([]T, 0, len(rows)*w)
+		}
+		buf := s.scratch[:0]
+		for _, y := range rows {
+			buf = append(buf, s.ownRow(y)...)
+		}
+		s.scratch = buf
+		if err := c.SendHalo(j, haloTag, serial.Marshal(s.elems, buf)); err != nil {
+			return fmt.Errorf("stencil: halo send %d→%d: %w", s.Rank, j, err)
+		}
+	}
+	for i, slots := range s.plan.recvFrom {
+		if len(slots) == 0 {
+			continue
+		}
+		m, err := c.Recv(i, haloTag)
+		if err != nil {
+			return fmt.Errorf("stencil: halo recv %d←%d: %w", s.Rank, i, err)
+		}
+		got, err := serial.Unmarshal(s.elems, m.Payload)
+		if err != nil || len(got) != len(slots)*w {
+			return fmt.Errorf("stencil: halo payload %d←%d: %d cells for %d slots (%v)",
+				s.Rank, i, len(got), len(slots), err)
+		}
+		for k, slot := range slots {
+			copy(s.slotRow(slot), got[k*w:(k+1)*w])
+		}
+	}
+	return nil
+}
+
+// Sweep advances the slab one generation on the node's pool: the back
+// buffer is written from the front rows plus the ghosts ExchangeHalos just
+// refreshed, then the buffers swap roles. The sweep only reads the ghost
+// arrays and only writes the back buffer, and the swap touches neither, so
+// a sweep can never alias a concurrently exchanged halo.
+func (s *Slab[T]) Sweep(pool *sched.Pool, fn Func[T]) {
+	own := s.Part.Rows[s.Rank]
+	if own.Empty() {
+		return
+	}
+	st := Stencil[T]{Params: s.par, Fn: fn}
+	v := &view[T]{
+		h: s.Part.H, w: s.Part.W,
+		rows: s.rows, rowLo: own.Lo, nRows: own.Len(),
+		top: s.top, bot: s.bot,
+		radius: s.par.Radius, b: s.par.Boundary, border: s.par.Border,
+	}
+	dst := iter.Matrix2[T]{H: own.Len(), W: s.Part.W, Data: s.back}
+	core.Build2IntoLocal(pool, dst, st.sweepIter(v))
+	s.rows, s.back = s.back, s.rows
+}
+
+// Op is a registered distributed stencil kernel over the cluster's
+// collectives: the master broadcasts a header (shape, iterations, Params)
+// and scatters row slabs; every rank then alternates ExchangeHalos and
+// Sweep locally; the final generation is gathered back in rank order.
+// Register once at init — one registration serves every grid shape, radius,
+// and boundary strategy, which travel in the header.
+type Op[T any] struct {
+	name  string
+	elem  serial.Codec[T]
+	elems serial.Codec[[]T]
+	fn    Func[T]
+}
+
+// NewOp registers the distributed stencil kernel "stencil.<name>".
+func NewOp[T any](name string, elem serial.Codec[T], elems serial.Codec[[]T], fn Func[T]) *Op[T] {
+	op := &Op[T]{name: "stencil." + name, elem: elem, elems: elems, fn: fn}
+	cluster.RegisterWorker(op.name, op.workerBody)
+	return op
+}
+
+// Name reports the kernel's registered name.
+func (op *Op[T]) Name() string { return op.name }
+
+// Fn returns the kernel function, so callers can run the same kernel
+// locally.
+func (op *Op[T]) Fn() Func[T] { return op.fn }
+
+type opHeader[T any] struct {
+	h, w, iters int
+	par         Params[T]
+}
+
+func (op *Op[T]) hdrCodec() serial.Codec[opHeader[T]] {
+	return serial.Funcs[opHeader[T]]{
+		Enc: func(w *serial.Writer, v opHeader[T]) {
+			w.Int(v.h)
+			w.Int(v.w)
+			w.Int(v.iters)
+			w.Int(v.par.Radius)
+			w.U8(uint8(v.par.Boundary))
+			op.elem.Encode(w, v.par.Border)
+		},
+		Dec: func(r *serial.Reader) opHeader[T] {
+			var v opHeader[T]
+			v.h, v.w, v.iters = r.Int(), r.Int(), r.Int()
+			v.par.Radius = r.Int()
+			v.par.Boundary = Boundary(r.U8())
+			v.par.Border = op.elem.Decode(r)
+			return v
+		},
+	}
+}
+
+func (op *Op[T]) workerBody(n *cluster.Node) error {
+	var zero opHeader[T]
+	hdr, err := mpi.BcastT(n.Comm, 0, op.hdrCodec(), zero)
+	if err != nil {
+		return fmt.Errorf("%s header: %w", op.name, err)
+	}
+	rows, err := mpi.ScatterT(n.Comm, 0, op.elems, nil)
+	if err != nil {
+		return fmt.Errorf("%s scatter: %w", op.name, err)
+	}
+	out, err := op.iterate(n, hdr, rows)
+	if err != nil {
+		return err
+	}
+	_, err = mpi.GatherT(n.Comm, 0, op.elems, out)
+	return err
+}
+
+// iterate is the per-rank body shared by master and workers.
+func (op *Op[T]) iterate(n *cluster.Node, hdr opHeader[T], rows []T) ([]T, error) {
+	part := NewPartition(hdr.h, hdr.w, n.Nodes())
+	sl, err := NewSlab(part, n.Rank(), hdr.par, op.elems, rows)
+	if err != nil {
+		return nil, err
+	}
+	endKernel := n.Phase("kernel")
+	defer endKernel()
+	for i := 0; i < hdr.iters; i++ {
+		if err := sl.ExchangeHalos(n.Comm); err != nil {
+			return nil, err
+		}
+		sl.Sweep(n.Pool, op.fn)
+	}
+	return sl.Rows(), nil
+}
+
+// Run executes iters sweeps of the stencil over g on the whole cluster and
+// returns the final grid; g is not modified. Call from the master.
+func (op *Op[T]) Run(s *cluster.Session, g iter.Matrix2[T], par Params[T], iters int) (iter.Matrix2[T], error) {
+	var zero iter.Matrix2[T]
+	if err := (Stencil[T]{Params: par, Fn: op.fn}).check(); err != nil {
+		return zero, err
+	}
+	if len(g.Data) != g.H*g.W {
+		return zero, fmt.Errorf("stencil: %dx%d grid with %d cells", g.H, g.W, len(g.Data))
+	}
+	n := s.Node()
+	if err := s.Invoke(op.name); err != nil {
+		return zero, err
+	}
+	hdr := opHeader[T]{h: g.H, w: g.W, iters: iters, par: par}
+	if _, err := mpi.BcastT(n.Comm, 0, op.hdrCodec(), hdr); err != nil {
+		return zero, fmt.Errorf("%s header: %w", op.name, err)
+	}
+	endScatter := n.Phase("scatter")
+	part := NewPartition(g.H, g.W, n.Nodes())
+	parts := make([][]T, n.Nodes())
+	for i, r := range part.Rows {
+		parts[i] = g.Data[r.Lo*g.W : r.Hi*g.W]
+	}
+	mine, err := mpi.ScatterT(n.Comm, 0, op.elems, parts)
+	endScatter()
+	if err != nil {
+		return zero, fmt.Errorf("%s scatter: %w", op.name, err)
+	}
+	out, err := op.iterate(n, hdr, mine)
+	if err != nil {
+		return zero, err
+	}
+	endGather := n.Phase("gather")
+	all, err := mpi.GatherT(n.Comm, 0, op.elems, out)
+	endGather()
+	if err != nil {
+		return zero, fmt.Errorf("%s gather: %w", op.name, err)
+	}
+	res := iter.Matrix2[T]{H: g.H, W: g.W, Data: make([]T, 0, g.H*g.W)}
+	for _, rows := range all {
+		res.Data = append(res.Data, rows...)
+	}
+	if len(res.Data) != g.H*g.W {
+		return zero, fmt.Errorf("%s gather: %d cells for %dx%d grid", op.name, len(res.Data), g.H, g.W)
+	}
+	return res, nil
+}

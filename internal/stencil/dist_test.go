@@ -1,0 +1,159 @@
+package stencil_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"triolet/internal/mpi"
+	"triolet/internal/sched"
+	"triolet/internal/serial"
+	"triolet/internal/stencil"
+	"triolet/internal/transport"
+)
+
+// runRanks runs fn on every rank of a fresh lossless fabric and returns the
+// fabric (closed) for stats inspection.
+func runRanks(t *testing.T, ranks int, fn func(rank int, c *mpi.Comm) error) *transport.Fabric {
+	t.Helper()
+	f := transport.New(transport.Config{Ranks: ranks})
+	errs := make([]error, ranks)
+	var wg sync.WaitGroup
+	for r := 0; r < ranks; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			errs[r] = fn(r, mpi.NewComm(f, r))
+		}(r)
+	}
+	wg.Wait()
+	f.Close()
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", r, err)
+		}
+	}
+	return f
+}
+
+// TestSlabIterateMatchesLocal drives ExchangeHalos+Sweep over a real fabric
+// across node counts (including more nodes than rows), degenerate geometry,
+// radii up to and past the slab height, and all four boundary strategies —
+// every rank's final slab must equal the corresponding rows of the local
+// whole-grid iteration, bit for bit.
+func TestSlabIterateMatchesLocal(t *testing.T) {
+	shapes := []struct{ h, w int }{{16, 6}, {7, 5}, {1, 8}, {8, 1}, {3, 3}}
+	for _, ranks := range []int{1, 2, 3, 5, 8} {
+		for _, sh := range shapes {
+			for _, radius := range []int{1, 3} {
+				for _, b := range allBoundaries {
+					name := fmt.Sprintf("n%d/%dx%d/r%d/%v", ranks, sh.h, sh.w, radius, b)
+					t.Run(name, func(t *testing.T) {
+						par := stencil.Params[int64]{Radius: radius, Boundary: b, Border: 5}
+						kern := sumKernel(radius)
+						g := fillI64(sh.h, sh.w, uint64(ranks+sh.h*31+sh.w*7+radius))
+						const iters = 3
+						want := refIterate(g, par, kern, iters)
+						part := stencil.NewPartition(sh.h, sh.w, ranks)
+						f := runRanks(t, ranks, func(rank int, c *mpi.Comm) error {
+							own := part.Rows[rank]
+							sl, err := stencil.NewSlab(part, rank, par, serial.I64s(), g.Data[own.Lo*sh.w:own.Hi*sh.w])
+							if err != nil {
+								return err
+							}
+							for it := 0; it < iters; it++ {
+								if err := sl.ExchangeHalos(c); err != nil {
+									return err
+								}
+								sl.Sweep(nil, asFunc(kern))
+							}
+							rows := sl.Rows()
+							for i, v := range rows {
+								if v != want[own.Lo*sh.w+i] {
+									return fmt.Errorf("cell %d of slab [%d,%d): got %d want %d",
+										i, own.Lo, own.Hi, v, want[own.Lo*sh.w+i])
+								}
+							}
+							return nil
+						})
+						halo := f.Stats().HaloBytes
+						if ranks >= 2 && sh.h >= 2 && radius >= 1 {
+							if halo == 0 {
+								t.Fatal("multi-rank exchange attributed no halo bytes")
+							}
+						}
+						if ranks == 1 && halo != 0 {
+							t.Fatalf("single-rank run attributed %d halo bytes", halo)
+						}
+					})
+				}
+			}
+		}
+	}
+}
+
+// TestIteratedSlabSweepRace is the aliasing proof for the double buffer:
+// pool-parallel sweeps on every rank, interleaved with halo exchanges, over
+// many iterations. Under -race any overlap between a sweep's writes and the
+// halo buffers being exchanged — or a swap exposing the buffer an exchange
+// still reads — is a report.
+func TestIteratedSlabSweepRace(t *testing.T) {
+	const ranks, h, w, radius, iters = 4, 32, 16, 2, 8
+	par := stencil.Params[int64]{Radius: radius, Boundary: stencil.Wrap}
+	kern := sumKernel(radius)
+	g := fillI64(h, w, 77)
+	want := refIterate(g, par, kern, iters)
+	part := stencil.NewPartition(h, w, ranks)
+	runRanks(t, ranks, func(rank int, c *mpi.Comm) error {
+		pool := sched.NewPool(3)
+		defer pool.Close()
+		own := part.Rows[rank]
+		sl, err := stencil.NewSlab(part, rank, par, serial.I64s(), g.Data[own.Lo*w:own.Hi*w])
+		if err != nil {
+			return err
+		}
+		for it := 0; it < iters; it++ {
+			if err := sl.ExchangeHalos(c); err != nil {
+				return err
+			}
+			sl.Sweep(pool, asFunc(kern))
+		}
+		for i, v := range sl.Rows() {
+			if v != want[own.Lo*w+i] {
+				return fmt.Errorf("cell %d: got %d want %d", i, v, want[own.Lo*w+i])
+			}
+		}
+		return nil
+	})
+}
+
+// TestSendHaloAttribution pins the accounting contract: SendHalo counts the
+// payload in both Bytes and HaloBytes, plain Send only in Bytes, and
+// ResetStats clears the halo counter.
+func TestSendHaloAttribution(t *testing.T) {
+	f := transport.New(transport.Config{Ranks: 2})
+	defer f.Close()
+	a, b := mpi.NewComm(f, 0), mpi.NewComm(f, 1)
+	if err := a.SendHalo(1, 9, make([]byte, 100)); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send(1, 9, make([]byte, 50)); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := b.Recv(0, 9); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := f.Stats()
+	if st.HaloBytes != 100 {
+		t.Fatalf("HaloBytes = %d, want 100", st.HaloBytes)
+	}
+	if st.Bytes != 150 {
+		t.Fatalf("Bytes = %d, want 150", st.Bytes)
+	}
+	f.ResetStats()
+	if st := f.Stats(); st.HaloBytes != 0 {
+		t.Fatalf("HaloBytes after reset = %d", st.HaloBytes)
+	}
+}

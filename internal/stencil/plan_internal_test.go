@@ -1,0 +1,117 @@
+package stencil
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestHaloPlanCoversSlots checks the exchange-plan invariants for every
+// geometry class: each ghost slot of each rank is claimed by exactly one of
+// {borderSlots, local, recvFrom}, and for every pair (i, j) rank i's
+// sendTo[j] length equals rank j's recvFrom[i] length — the wire contract
+// that lets both sides compute the exchange with no negotiation.
+func TestHaloPlanCoversSlots(t *testing.T) {
+	boundaries := []Boundary{Normal, Wrap, Mirror, Border}
+	shapes := []struct{ h, w int }{{16, 4}, {7, 3}, {1, 5}, {5, 1}, {2, 2}, {3, 8}}
+	for _, ranks := range []int{1, 2, 3, 5, 9} {
+		for _, sh := range shapes {
+			for _, radius := range []int{0, 1, 2, 4} {
+				for _, b := range boundaries {
+					p := NewPartition(sh.h, sh.w, ranks)
+					plans := make([]haloPlan, ranks)
+					for r := 0; r < ranks; r++ {
+						plans[r] = newHaloPlan(p, r, radius, b)
+					}
+					label := fmt.Sprintf("n%d %dx%d r%d %v", ranks, sh.h, sh.w, radius, b)
+					for r := 0; r < ranks; r++ {
+						nSlots := 2 * radius
+						if p.Rows[r].Empty() || radius == 0 {
+							nSlots = 0
+						}
+						seen := make([]int, nSlots)
+						claim := func(slot int) {
+							if slot < 0 || slot >= nSlots {
+								t.Fatalf("%s rank %d: slot %d out of [0,%d)", label, r, slot, nSlots)
+							}
+							seen[slot]++
+						}
+						for _, slot := range plans[r].borderSlots {
+							claim(slot)
+						}
+						for _, ls := range plans[r].local {
+							claim(ls[0])
+							if !p.Rows[r].Contains(ls[1]) {
+								t.Fatalf("%s rank %d: local source row %d not owned", label, r, ls[1])
+							}
+						}
+						for src, slots := range plans[r].recvFrom {
+							for _, slot := range slots {
+								claim(slot)
+							}
+							if len(slots) > 0 && src == r {
+								t.Fatalf("%s rank %d: recvFrom self", label, r)
+							}
+						}
+						for slot, n := range seen {
+							if n != 1 {
+								t.Fatalf("%s rank %d: slot %d claimed %d times", label, r, slot, n)
+							}
+						}
+					}
+					for i := 0; i < ranks; i++ {
+						for j := 0; j < ranks; j++ {
+							if i == j {
+								continue
+							}
+							if ns, nr := len(plans[i].sendTo[j]), len(plans[j].recvFrom[i]); ns != nr {
+								t.Fatalf("%s: rank %d sends %d rows to %d, which expects %d",
+									label, i, ns, j, nr)
+							}
+							for _, y := range plans[i].sendTo[j] {
+								if !p.Rows[i].Contains(y) {
+									t.Fatalf("%s: rank %d sends unowned row %d", label, i, y)
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestMapIndexStrategies pins the index arithmetic against hand-computed
+// cases, including mirror folds past several periods and radius ≥ n.
+func TestMapIndexStrategies(t *testing.T) {
+	cases := []struct {
+		i, n int
+		b    Boundary
+		want int
+		ok   bool
+	}{
+		{-1, 5, Wrap, 4, true},
+		{5, 5, Wrap, 0, true},
+		{-7, 5, Wrap, 3, true},
+		{12, 5, Wrap, 2, true},
+		{-1, 5, Mirror, 0, true},
+		{-2, 5, Mirror, 1, true},
+		{5, 5, Mirror, 4, true},
+		{6, 5, Mirror, 3, true},
+		{-6, 5, Mirror, 4, true}, // second fold: -6 → 5 → 4
+		{10, 5, Mirror, 0, true}, // full period
+		{-1, 1, Mirror, 0, true},
+		{3, 1, Mirror, 0, true},
+		{-1, 5, Border, 0, false},
+		{5, 5, Border, 0, false},
+		{2, 5, Border, 2, true},
+		{-1, 5, Normal, 0, false},
+		{2, 5, Normal, 2, true},
+	}
+	for _, c := range cases {
+		got, ok := mapIndex(c.i, c.n, c.b)
+		if ok != c.ok || (ok && got != c.want) {
+			t.Errorf("mapIndex(%d, %d, %v) = (%d, %v), want (%d, %v)",
+				c.i, c.n, c.b, got, ok, c.want, c.ok)
+		}
+	}
+}

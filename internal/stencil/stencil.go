@@ -1,0 +1,270 @@
+// Package stencil implements the iterated 2-D stencil skeleton over the
+// two-level runtime: a grid type with a row-slab partition map, an explicit
+// halo-exchange primitive over mpi.Comm with attributed ghost traffic, and
+// the four SkeLibEd boundary strategies (NORMAL, WRAP, MIRROR, BORDER).
+//
+// The intra-node sweep is an iter.Iter2 pipeline materialized through
+// core.Build2IntoLocal, so it inherits the block engine's row-aligned
+// splitting and allocation discipline; the cross-node paths (Op over
+// collectives, FarmOp over Session.Farm) slab the grid by rows and refresh
+// radius-r ghost rows before every sweep.
+//
+// Boundary semantics, after SkeLibEd:
+//
+//   - Normal: a cell whose full (2r+1)² neighborhood does not fit inside
+//     the grid carries its previous value; no out-of-grid read happens.
+//   - Wrap: out-of-grid indices wrap toroidally (modulo the axis length).
+//   - Mirror: out-of-grid indices reflect at the edge with edge
+//     duplication (… 1 0 | 0 1 … n-1 | n-1 n-2 …) — a period-2n fold,
+//     well-defined for any radius, including radius ≥ the axis length.
+//   - Border: out-of-grid reads resolve to a caller-supplied constant.
+package stencil
+
+import (
+	"fmt"
+
+	"triolet/internal/core"
+	"triolet/internal/domain"
+	"triolet/internal/iter"
+	"triolet/internal/sched"
+)
+
+// Boundary selects how neighborhood reads outside the grid resolve.
+type Boundary uint8
+
+const (
+	Normal Boundary = iota
+	Wrap
+	Mirror
+	Border
+	boundaryCount
+)
+
+// String names the strategy.
+func (b Boundary) String() string {
+	switch b {
+	case Normal:
+		return "NORMAL"
+	case Wrap:
+		return "WRAP"
+	case Mirror:
+		return "MIRROR"
+	case Border:
+		return "BORDER"
+	}
+	return fmt.Sprintf("Boundary(%d)", uint8(b))
+}
+
+// Params are the data half of a stencil: everything but the kernel
+// function. Distributed ops ship Params on the wire (header or task
+// payload) so one registered kernel serves every radius and strategy.
+type Params[T any] struct {
+	// Radius is the neighborhood reach: a cell reads offsets in
+	// [-Radius, +Radius] on both axes.
+	Radius int
+	// Boundary selects the out-of-grid read strategy.
+	Boundary Boundary
+	// Border is the constant out-of-grid reads resolve to under the
+	// Border strategy; ignored otherwise.
+	Border T
+}
+
+func (p Params[T]) check() error {
+	if p.Radius < 0 {
+		return fmt.Errorf("stencil: negative radius %d", p.Radius)
+	}
+	if p.Boundary >= boundaryCount {
+		return fmt.Errorf("stencil: unknown boundary strategy %d", uint8(p.Boundary))
+	}
+	return nil
+}
+
+// Func computes one cell's next value from its neighborhood. It must be
+// pure: kernels run concurrently over disjoint output rows and may run
+// twice under fault-tolerant execution.
+type Func[T any] func(nb Neighborhood[T]) T
+
+// Stencil couples Params with the kernel function — the complete local
+// stencil, applied with Sweep or Iterate.
+type Stencil[T any] struct {
+	Params[T]
+	Fn Func[T]
+}
+
+// Neighborhood is the read window handed to a kernel: At(dy, dx) reads the
+// cell offset (dy, dx) from the center, |dy|,|dx| ≤ Radius, with
+// out-of-grid reads resolved by the boundary strategy. It is a small value;
+// passing it by value keeps kernels allocation-free.
+type Neighborhood[T any] struct {
+	v    *view[T]
+	y, x int // center, in global grid coordinates
+	// fast is the center's index into v.rows when the whole neighborhood
+	// lies inside the owned rows (no boundary or ghost resolution needed),
+	// else -1.
+	fast int
+}
+
+// Y reports the center's global row.
+func (nb Neighborhood[T]) Y() int { return nb.y }
+
+// X reports the center's global column.
+func (nb Neighborhood[T]) X() int { return nb.x }
+
+// Radius reports the declared radius, so one registered kernel can serve
+// any radius carried in Params.
+func (nb Neighborhood[T]) Radius() int { return nb.v.radius }
+
+// At reads the cell at offset (dy, dx) from the center.
+func (nb Neighborhood[T]) At(dy, dx int) T {
+	if nb.fast >= 0 {
+		return nb.v.rows[nb.fast+dy*nb.v.w+dx]
+	}
+	return nb.v.at(nb.y+dy, nb.x+dx)
+}
+
+// view is the window a sweep reads: the rows this rank owns plus, in
+// distributed runs, prefilled ghost rows covering [rowLo-radius, rowLo) and
+// [rowHi, rowHi+radius). Reads that miss the window resolve through the
+// boundary strategy against the global h×w domain — only possible in local
+// (whole-grid) sweeps, where every in-grid row is owned.
+type view[T any] struct {
+	h, w   int // global grid dimensions
+	rows   []T // owned rows, nRows×w, starting at global row rowLo
+	rowLo  int
+	nRows  int
+	top    []T // radius×w ghost rows above rowLo, nil in local sweeps
+	bot    []T // radius×w ghost rows from rowLo+nRows, nil in local sweeps
+	radius int
+	b      Boundary
+	border T
+}
+
+func (v *view[T]) at(y, x int) T {
+	x, ok := mapIndex(x, v.w, v.b)
+	if !ok {
+		return v.border
+	}
+	if y >= v.rowLo && y < v.rowLo+v.nRows {
+		return v.rows[(y-v.rowLo)*v.w+x]
+	}
+	if v.top != nil || v.bot != nil {
+		// Distributed: ghost rows were prefilled by ExchangeHalos with
+		// already-strategy-resolved values, so no further y mapping.
+		if y < v.rowLo {
+			return v.top[(y-v.rowLo+v.radius)*v.w+x]
+		}
+		return v.bot[(y-v.rowLo-v.nRows)*v.w+x]
+	}
+	y, ok = mapIndex(y, v.h, v.b)
+	if !ok {
+		return v.border
+	}
+	return v.rows[(y-v.rowLo)*v.w+x]
+}
+
+// mapIndex resolves index i on a length-n axis under boundary strategy b.
+// ok=false means the read resolves to the border constant. Normal never
+// reaches an out-of-range index: cells without a full in-grid neighborhood
+// carry their previous value instead of reading out of grid.
+func mapIndex(i, n int, b Boundary) (int, bool) {
+	if i >= 0 && i < n {
+		return i, true
+	}
+	switch b {
+	case Wrap:
+		i %= n
+		if i < 0 {
+			i += n
+		}
+		return i, true
+	case Mirror:
+		// Edge-duplicating reflection is a period-2n triangular fold:
+		// fold i into [0, 2n), then indices in [n, 2n) read back as
+		// 2n-1-i. Valid for any radius, including radius ≥ n.
+		p := 2 * n
+		i %= p
+		if i < 0 {
+			i += p
+		}
+		if i >= n {
+			i = p - 1 - i
+		}
+		return i, true
+	default: // Border; Normal for safety
+		return 0, false
+	}
+}
+
+// sweepIter expresses one sweep over v's owned rows as a 2-D iterator whose
+// (y, x) element — y local to the slab — is the kernel applied at that
+// cell. Materializing it through core.Build2IntoLocal is what runs the
+// sweep on the block engine.
+func (st Stencil[T]) sweepIter(v *view[T]) iter.Iter2[T] {
+	r := st.Radius
+	at := func(y, x int) T {
+		gy := y + v.rowLo
+		if st.Boundary == Normal && (gy < r || gy+r >= v.h || x < r || x+r >= v.w) {
+			// NORMAL: no full in-grid neighborhood — carry the old value.
+			return v.rows[y*v.w+x]
+		}
+		nb := Neighborhood[T]{v: v, y: gy, x: x, fast: -1}
+		if x >= r && x+r < v.w && gy-r >= v.rowLo && gy+r < v.rowLo+v.nRows {
+			nb.fast = y*v.w + x
+		}
+		return st.Fn(nb)
+	}
+	return iter.LocalPar2(iter.Idx2Flat(iter.Idx2[T]{
+		Dom: domain.Dim2{H: v.nRows, W: v.w},
+		At:  at,
+	}))
+}
+
+func (st Stencil[T]) checkGrid(g iter.Matrix2[T]) {
+	if err := st.check(); err != nil {
+		panic(err)
+	}
+	if len(g.Data) != g.H*g.W {
+		panic(fmt.Sprintf("stencil: %dx%d grid with %d cells", g.H, g.W, len(g.Data)))
+	}
+}
+
+func (st Stencil[T]) check() error {
+	if st.Fn == nil {
+		return fmt.Errorf("stencil: nil kernel")
+	}
+	return st.Params.check()
+}
+
+// Sweep applies the stencil once, writing step(src) into dst. src and dst
+// must have the same shape and must not alias: the whole point of the
+// double buffer is that a sweep reads a consistent previous generation.
+func (st Stencil[T]) Sweep(pool *sched.Pool, dst, src iter.Matrix2[T]) {
+	st.checkGrid(src)
+	if dst.H != src.H || dst.W != src.W {
+		panic(fmt.Sprintf("stencil: sweep %dx%d into %dx%d", src.H, src.W, dst.H, dst.W))
+	}
+	v := &view[T]{
+		h: src.H, w: src.W,
+		rows: src.Data, rowLo: 0, nRows: src.H,
+		radius: st.Radius, b: st.Boundary, border: st.Border,
+	}
+	core.Build2IntoLocal(pool, dst, st.sweepIter(v))
+}
+
+// Iterate applies the stencil iters times with double buffering — two
+// grids alternate roles, allocated once — and returns the final
+// generation. g itself is never written. pool may be nil for a sequential
+// sweep.
+func (st Stencil[T]) Iterate(pool *sched.Pool, g iter.Matrix2[T], iters int) iter.Matrix2[T] {
+	st.checkGrid(g)
+	front := g.Clone()
+	if iters <= 0 {
+		return front
+	}
+	back := iter.Matrix2[T]{H: g.H, W: g.W, Data: make([]T, len(g.Data))}
+	for i := 0; i < iters; i++ {
+		st.Sweep(pool, back, front)
+		front, back = back, front
+	}
+	return front
+}

@@ -1,0 +1,313 @@
+package stencil_test
+
+import (
+	"fmt"
+	"testing"
+
+	"triolet/internal/iter"
+	"triolet/internal/sched"
+	"triolet/internal/stencil"
+)
+
+// refResolve maps index i onto [0, n) the slow, obviously-correct way:
+// wrap by repeated shifting, mirror by repeated edge-duplicating
+// reflection. It is an independent implementation of the package's
+// strategy arithmetic, not a call into it.
+func refResolve(i, n int, b stencil.Boundary) (int, bool) {
+	switch b {
+	case stencil.Wrap:
+		for i < 0 {
+			i += n
+		}
+		for i >= n {
+			i -= n
+		}
+		return i, true
+	case stencil.Mirror:
+		for i < 0 || i >= n {
+			if i < 0 {
+				i = -1 - i
+			}
+			if i >= n {
+				i = 2*n - 1 - i
+			}
+		}
+		return i, true
+	case stencil.Border:
+		if i >= 0 && i < n {
+			return i, true
+		}
+		return 0, false
+	default: // Normal: callers never resolve out-of-range indices
+		return i, i >= 0 && i < n
+	}
+}
+
+// refSweep is the naive whole-grid reference: per-cell loops, per-read
+// strategy resolution. kernel receives an accessor so the reference and the
+// skeleton share the exact same kernel arithmetic (and therefore the same
+// floating-point operation order).
+func refSweep[T any](h, w int, src []T, par stencil.Params[T], kernel func(at func(dy, dx int) T) T) []T {
+	dst := make([]T, len(src))
+	r := par.Radius
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			if par.Boundary == stencil.Normal && (y < r || y+r >= h || x < r || x+r >= w) {
+				dst[y*w+x] = src[y*w+x]
+				continue
+			}
+			yy, xx := y, x
+			at := func(dy, dx int) T {
+				my, oky := refResolve(yy+dy, h, par.Boundary)
+				mx, okx := refResolve(xx+dx, w, par.Boundary)
+				if !oky || !okx {
+					return par.Border
+				}
+				return src[my*w+mx]
+			}
+			dst[y*w+x] = kernel(at)
+		}
+	}
+	return dst
+}
+
+func refIterate[T any](g iter.Matrix2[T], par stencil.Params[T], kernel func(at func(dy, dx int) T) T, iters int) []T {
+	cur := append([]T(nil), g.Data...)
+	for i := 0; i < iters; i++ {
+		cur = refSweep(g.H, g.W, cur, par, kernel)
+	}
+	return cur
+}
+
+// sumKernel sums the whole (2r+1)² neighborhood — sensitive to every read,
+// so any mis-resolved boundary index changes the result.
+func sumKernel(r int) func(at func(dy, dx int) int64) int64 {
+	return func(at func(dy, dx int) int64) int64 {
+		var s int64
+		for dy := -r; dy <= r; dy++ {
+			for dx := -r; dx <= r; dx++ {
+				s += at(dy, dx)
+			}
+		}
+		return s
+	}
+}
+
+// lifeKernel is Conway's Game of Life on 0/1 cells.
+func lifeKernel(at func(dy, dx int) int64) int64 {
+	var n int64
+	for dy := -1; dy <= 1; dy++ {
+		for dx := -1; dx <= 1; dx++ {
+			if dy == 0 && dx == 0 {
+				continue
+			}
+			n += at(dy, dx)
+		}
+	}
+	if n == 3 || (at(0, 0) == 1 && n == 2) {
+		return 1
+	}
+	return 0
+}
+
+// heatKernel is the 5-point explicit heat step with a fixed summation
+// order, so every execution mode is bit-identical.
+func heatKernel(at func(dy, dx int) float64) float64 {
+	c := at(0, 0)
+	return c + 0.2*((at(-1, 0)+at(1, 0))+(at(0, -1)+at(0, 1))-4*c)
+}
+
+// asFunc adapts an accessor kernel to a stencil.Func.
+func asFunc[T any](kernel func(at func(dy, dx int) T) T) stencil.Func[T] {
+	return func(nb stencil.Neighborhood[T]) T { return kernel(nb.At) }
+}
+
+// fillI64 fills deterministically (an LCG, so no two cells repeat soon).
+func fillI64(h, w int, seed uint64) iter.Matrix2[int64] {
+	g := iter.Matrix2[int64]{H: h, W: w, Data: make([]int64, h*w)}
+	x := seed*2862933555777941757 + 3037000493
+	for i := range g.Data {
+		x = x*2862933555777941757 + 3037000493
+		g.Data[i] = int64(x >> 33)
+	}
+	return g
+}
+
+func fillLife(h, w int, seed uint64) iter.Matrix2[int64] {
+	g := fillI64(h, w, seed)
+	for i := range g.Data {
+		g.Data[i] &= 1
+	}
+	return g
+}
+
+func fillF64(h, w int, seed uint64) iter.Matrix2[float64] {
+	src := fillI64(h, w, seed)
+	g := iter.Matrix2[float64]{H: h, W: w, Data: make([]float64, h*w)}
+	for i, v := range src.Data {
+		g.Data[i] = float64(v%1000) / 8
+	}
+	return g
+}
+
+var allBoundaries = []stencil.Boundary{stencil.Normal, stencil.Wrap, stencil.Mirror, stencil.Border}
+
+// TestSweepMatchesReference drives every boundary strategy over regular and
+// degenerate geometry — 1×N, N×1, radius larger than either grid dimension
+// — and checks the skeleton against the naive reference bit-for-bit.
+func TestSweepMatchesReference(t *testing.T) {
+	pool := sched.NewPool(4)
+	defer pool.Close()
+	shapes := []struct{ h, w int }{{5, 7}, {1, 9}, {9, 1}, {3, 3}, {1, 1}, {16, 16}}
+	for _, sh := range shapes {
+		for _, radius := range []int{1, 2, 5} {
+			for _, b := range allBoundaries {
+				name := fmt.Sprintf("%dx%d/r%d/%v", sh.h, sh.w, radius, b)
+				t.Run(name, func(t *testing.T) {
+					par := stencil.Params[int64]{Radius: radius, Boundary: b, Border: -7}
+					st := stencil.Stencil[int64]{Params: par, Fn: asFunc(sumKernel(radius))}
+					g := fillI64(sh.h, sh.w, uint64(sh.h*100+sh.w*10+radius))
+					const iters = 3
+					want := refIterate(g, par, sumKernel(radius), iters)
+					gotSeq := st.Iterate(nil, g, iters)
+					gotPar := st.Iterate(pool, g, iters)
+					for i := range want {
+						if gotSeq.Data[i] != want[i] {
+							t.Fatalf("seq cell %d: got %d want %d", i, gotSeq.Data[i], want[i])
+						}
+						if gotPar.Data[i] != want[i] {
+							t.Fatalf("pool cell %d: got %d want %d", i, gotPar.Data[i], want[i])
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestHeatBitIdentical pins the float contract: sequential, pooled, and
+// reference sweeps produce bit-identical float64 grids because the per-cell
+// arithmetic order is fixed.
+func TestHeatBitIdentical(t *testing.T) {
+	pool := sched.NewPool(8)
+	defer pool.Close()
+	for _, b := range allBoundaries {
+		par := stencil.Params[float64]{Radius: 1, Boundary: b, Border: 25}
+		st := stencil.Stencil[float64]{Params: par, Fn: asFunc(heatKernel)}
+		g := fillF64(33, 17, 9)
+		const iters = 5
+		want := refIterate(g, par, heatKernel, iters)
+		gotSeq := st.Iterate(nil, g, iters)
+		gotPar := st.Iterate(pool, g, iters)
+		for i := range want {
+			if gotSeq.Data[i] != want[i] || gotPar.Data[i] != want[i] {
+				t.Fatalf("%v cell %d: seq %x pool %x want %x", b, i, gotSeq.Data[i], gotPar.Data[i], want[i])
+			}
+		}
+	}
+}
+
+// TestLifeWrapReference checks the canonical toroidal Life on a glider: the
+// pattern translates by (1,1) every 4 generations.
+func TestLifeWrapReference(t *testing.T) {
+	const h, w = 8, 8
+	g := iter.Matrix2[int64]{H: h, W: w, Data: make([]int64, h*w)}
+	// Glider at the top-left.
+	for _, p := range [][2]int{{0, 1}, {1, 2}, {2, 0}, {2, 1}, {2, 2}} {
+		g.Data[p[0]*w+p[1]] = 1
+	}
+	st := stencil.Stencil[int64]{
+		Params: stencil.Params[int64]{Radius: 1, Boundary: stencil.Wrap},
+		Fn:     asFunc(lifeKernel),
+	}
+	got := st.Iterate(nil, g, 4)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			want := g.At((y-1+h)%h, (x-1+w)%w)
+			if got.At(y, x) != want {
+				t.Fatalf("glider cell (%d,%d): got %d want %d", y, x, got.At(y, x), want)
+			}
+		}
+	}
+}
+
+// TestNormalCarriesEdges pins NORMAL's defining behavior: cells without a
+// full in-grid neighborhood keep their previous value, everything else
+// steps.
+func TestNormalCarriesEdges(t *testing.T) {
+	g := fillI64(6, 6, 3)
+	st := stencil.Stencil[int64]{
+		Params: stencil.Params[int64]{Radius: 2, Boundary: stencil.Normal},
+		Fn:     asFunc(sumKernel(2)),
+	}
+	got := st.Iterate(nil, g, 1)
+	for y := 0; y < 6; y++ {
+		for x := 0; x < 6; x++ {
+			edge := y < 2 || y >= 4 || x < 2 || x >= 4
+			if edge && got.At(y, x) != g.At(y, x) {
+				t.Fatalf("edge cell (%d,%d) stepped: got %d want carried %d", y, x, got.At(y, x), g.At(y, x))
+			}
+			if !edge && got.At(y, x) == g.At(y, x) {
+				t.Fatalf("interior cell (%d,%d) did not step", y, x)
+			}
+		}
+	}
+}
+
+// TestIterateDoesNotMutateInput: the input grid is read-only; zero
+// iterations return a copy, not an alias.
+func TestIterateDoesNotMutateInput(t *testing.T) {
+	g := fillI64(7, 5, 1)
+	orig := append([]int64(nil), g.Data...)
+	st := stencil.Stencil[int64]{
+		Params: stencil.Params[int64]{Radius: 1, Boundary: stencil.Wrap},
+		Fn:     asFunc(sumKernel(1)),
+	}
+	out := st.Iterate(nil, g, 4)
+	for i := range orig {
+		if g.Data[i] != orig[i] {
+			t.Fatalf("input cell %d mutated", i)
+		}
+	}
+	zero := st.Iterate(nil, g, 0)
+	zero.Data[0] = 12345
+	if g.Data[0] == 12345 {
+		t.Fatal("Iterate(0) aliases the input grid")
+	}
+	_ = out
+}
+
+// TestBorderConstant: with radius ≥ both dimensions every read of a corner
+// cell's neighborhood except the grid itself is the border constant.
+func TestBorderConstant(t *testing.T) {
+	g := fillI64(2, 2, 5)
+	const borderV = int64(11)
+	r := 3
+	st := stencil.Stencil[int64]{
+		Params: stencil.Params[int64]{Radius: r, Boundary: stencil.Border, Border: borderV},
+		Fn:     asFunc(sumKernel(r)),
+	}
+	got := st.Iterate(nil, g, 1)
+	window := (2*r + 1) * (2*r + 1)
+	var gridSum int64
+	for _, v := range g.Data {
+		gridSum += v
+	}
+	want := gridSum + int64(window-4)*borderV
+	for i, v := range got.Data {
+		if v != want {
+			t.Fatalf("cell %d: got %d want %d", i, v, want)
+		}
+	}
+}
+
+func TestBoundaryStrings(t *testing.T) {
+	for b, want := range map[stencil.Boundary]string{
+		stencil.Normal: "NORMAL", stencil.Wrap: "WRAP",
+		stencil.Mirror: "MIRROR", stencil.Border: "BORDER",
+	} {
+		if b.String() != want {
+			t.Fatalf("Boundary %d: %q", uint8(b), b.String())
+		}
+	}
+}

@@ -92,6 +92,13 @@ type Stats struct {
 	Bytes     int64
 	SentBytes []int64 // per source rank
 	RecvBytes []int64 // per destination rank
+	// HaloBytes is the subset of payload bytes a sender attributed to
+	// halo/ghost replication (stencil ghost rows, slab boundary-atom
+	// duplication). The fabric cannot tell halo traffic from task traffic
+	// on its own, so attribution is explicit: senders call AddHaloBytes
+	// alongside the send. Counted once per logical payload — reliable-mode
+	// retries are delivery overhead, not additional halo volume.
+	HaloBytes int64
 	// Faults counts injected faults; all-zero without a FaultConfig.
 	Faults FaultStats
 }
@@ -105,6 +112,7 @@ type Fabric struct {
 	crashed   []atomic.Bool
 	messages  atomic.Int64
 	bytes     atomic.Int64
+	haloBytes atomic.Int64
 	sentBytes []atomic.Int64
 	recvBytes []atomic.Int64
 }
@@ -348,6 +356,7 @@ func (f *Fabric) Stats() Stats {
 	s := Stats{
 		Messages:  f.messages.Load(),
 		Bytes:     f.bytes.Load(),
+		HaloBytes: f.haloBytes.Load(),
 		SentBytes: make([]int64, f.cfg.Ranks),
 		RecvBytes: make([]int64, f.cfg.Ranks),
 	}
@@ -365,9 +374,20 @@ func (f *Fabric) Stats() Stats {
 func (f *Fabric) ResetStats() {
 	f.messages.Store(0)
 	f.bytes.Store(0)
+	f.haloBytes.Store(0)
 	for i := range f.sentBytes {
 		f.sentBytes[i].Store(0)
 		f.recvBytes[i].Store(0)
+	}
+}
+
+// AddHaloBytes attributes n payload bytes to halo/ghost replication (see
+// Stats.HaloBytes). Callers invoke it once per logical halo payload, next to
+// the send (or, for farm tasks that may run on the master without crossing
+// the fabric, at task-build time — provisioned halo volume).
+func (f *Fabric) AddHaloBytes(n int64) {
+	if n > 0 {
+		f.haloBytes.Add(n)
 	}
 }
 
